@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one paper artifact (table or figure) and prints
+the rows/series the paper reports, so a ``pytest benchmarks/
+--benchmark-only`` run doubles as the reproduction log.  Expensive
+sweeps run exactly once via ``benchmark.pedantic``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark a sweep exactly once and return its result."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+    def runner(fn):
+        return run_once(benchmark, fn)
+    return runner

@@ -1,0 +1,44 @@
+"""A2 (ablation): the computational cost of priority levels.
+
+Section 4.3 discussion 2: supporting more priority levels makes the CAC
+more flexible but "the computation and memory required to perform the
+CAC check also increase proportionally with the number of priority
+levels".  This bench measures the admission-check latency of one switch
+as the number of real-time priority levels grows, holding the number of
+connections fixed.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core import SwitchCAC
+from repro.core.traffic import VBRParameters
+
+CONNECTIONS = 24
+PARAMS = VBRParameters(pcr=0.5, scr=0.01, mbs=4)
+
+
+def loaded_switch(priority_levels):
+    switch = SwitchCAC("sw")
+    switch.configure_link("out", {p: 10_000 for p in range(priority_levels)})
+    for index in range(CONNECTIONS):
+        switch.admit(
+            f"vc{index}", f"in{index % 3}", "out",
+            index % priority_levels,
+            PARAMS.worst_case_stream().delayed(8.0 * (index % 5)))
+    return switch
+
+
+@pytest.mark.parametrize("levels", [1, 2, 4, 8])
+def test_bench_check_cost_by_priority_levels(benchmark, levels):
+    switch = loaded_switch(levels)
+    stream = PARAMS.worst_case_stream()
+
+    def check():
+        return switch.check("in0", "out", 0, stream)
+
+    result = benchmark(check)
+    assert result.computed_bounds  # the check ran and produced bounds
+    # The new connection at the highest priority is checked against
+    # every lower priority level that carries traffic.
+    assert len(result.computed_bounds) == min(levels, CONNECTIONS)

@@ -1,0 +1,53 @@
+"""Buffer sizing (Section 5 purpose (3)): how big must ring queues be?
+
+The CAC's worst-case backlog bound tells a switch designer the FIFO
+size that guarantees zero loss for admitted traffic.  This bench
+reports the per-node buffer requirement of the symmetric cyclic
+workload across loads and terminal counts and checks the paper's design
+point: the Figure 10 headline workloads fit the 32-cell queue RTnet
+ships with (with unit service capacity, the worst backlog can never
+exceed the worst delay bound, so admitted traffic always fits).
+"""
+
+from repro.analysis.report import render_table
+from repro.rtnet import RingAnalysis, symmetric_workload
+
+LOADS = [0.1, 0.25, 0.35, 0.5, 0.75]
+TERMINAL_COUNTS = [1, 4, 16]
+
+
+def sweep():
+    rows = []
+    for load in LOADS:
+        row = [load]
+        for count in TERMINAL_COUNTS:
+            analysis = RingAnalysis(
+                symmetric_workload(load, 16, count), 16)
+            backlog = float(analysis.worst_link_backlog(0))
+            bound = float(analysis.worst_link_bound(0))
+            admissible = bound <= 32
+            row.append(round(backlog, 1) if admissible else "rejected")
+        rows.append(row)
+    return rows
+
+
+def test_bench_buffer_sizing(once):
+    rows = once(sweep)
+    print()
+    print(render_table(
+        ["load B"] + [f"N={count} buffer (cells)"
+                      for count in TERMINAL_COUNTS],
+        rows,
+        title="Buffer requirement per ring node (32-cell queues shipped)",
+    ))
+    # The paper's headline points fit the shipped 32-cell queue.
+    for load, count in ((0.75, 1), (0.35, 16)):
+        analysis = RingAnalysis(symmetric_workload(load, 16, count), 16)
+        assert float(analysis.worst_link_backlog(0)) <= 32
+    # Backlog never exceeds the delay bound at unit capacity.
+    for load in LOADS:
+        for count in TERMINAL_COUNTS:
+            analysis = RingAnalysis(
+                symmetric_workload(load, 16, count), 16)
+            assert float(analysis.worst_link_backlog(0)) <= \
+                float(analysis.worst_link_bound(0)) + 1e-9

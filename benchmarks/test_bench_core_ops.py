@@ -1,0 +1,48 @@
+"""Micro-benchmarks of the bit-stream algebra primitives.
+
+Admission-check latency is dominated by these four operations; their
+costs set how fast switched real-time VCs can be established (Section
+4.3 discussion 2 worries exactly about this).  Stream sizes mirror a
+loaded RTnet port: aggregates of a few hundred breakpoints.
+"""
+
+import pytest
+
+from repro.core import aggregate, delay_bound
+from repro.core.traffic import VBRParameters
+
+PARAMS = VBRParameters(pcr=0.5, scr=0.002, mbs=5)
+
+STREAMS = [
+    PARAMS.worst_case_stream().delayed(13.0 * index)
+    for index in range(64)
+]
+AGGREGATE = aggregate(STREAMS)
+FILTERED = AGGREGATE.filtered()
+HALF = aggregate(STREAMS[:32])
+
+
+def test_bench_aggregate(benchmark):
+    result = benchmark(lambda: aggregate(STREAMS))
+    assert len(result) > 64
+
+
+def test_bench_multiplex_pair(benchmark):
+    result = benchmark(lambda: AGGREGATE + HALF)
+    assert result.long_run_rate == AGGREGATE.long_run_rate + HALF.long_run_rate
+
+
+def test_bench_filter(benchmark):
+    result = benchmark(AGGREGATE.filtered)
+    assert result.peak_rate <= 1
+
+
+def test_bench_delay(benchmark):
+    stream = PARAMS.worst_case_stream()
+    result = benchmark(lambda: stream.delayed(96.0))
+    assert result.peak_rate == 1
+
+
+def test_bench_delay_bound(benchmark):
+    result = benchmark(lambda: delay_bound(AGGREGATE, FILTERED))
+    assert result > 0

@@ -1,0 +1,32 @@
+"""Failure wrap-around cost (extension of Figure 9's fault-tolerance claim).
+
+RTnet survives any single link/node failure by healing its dual ring
+into one longer logical ring.  The guarantee machinery keeps working --
+but the wrapped ring has ~2x the queueing points, so CDV accumulates
+deeper and less cyclic traffic fits under the same 1 ms deadline.  This
+bench reports the hard real-time capacity a plant keeps *through* a
+failure, per terminal count.
+"""
+
+from repro.analysis.report import render_table
+from repro.rtnet import failover_capacity_curve
+
+TERMINAL_COUNTS = [1, 4, 8, 16]
+
+
+def sweep():
+    return failover_capacity_curve(TERMINAL_COUNTS, tolerance=1 / 128)
+
+
+def test_bench_failover(once):
+    rows = once(sweep)
+    print()
+    print(render_table(
+        ["terminals per node", "healthy ring", "after wrap", "kept"],
+        [[count, round(healthy, 3), round(wrapped, 3),
+          f"{wrapped / healthy:.0%}" if healthy else "n/a"]
+         for count, healthy, wrapped in rows],
+        title="Failover: max cyclic load before/after a single failure",
+    ))
+    for _count, healthy, wrapped in rows:
+        assert 0 < wrapped < healthy

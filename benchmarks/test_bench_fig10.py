@@ -1,0 +1,64 @@
+"""Figure 10: end-to-end queueing delay bound vs aggregated load.
+
+The reference RTnet (16 ring nodes, 32-cell queues, hard CAC) carries a
+symmetric cyclic workload; every terminal broadcasts ``B / (16 N)``.
+The curve reports the worst end-to-end bound as a function of the total
+load ``B`` for ``N`` in {1, 4, 8, 16} -- the paper's headline points are
+(N=1, B=0.75) and (N=16, B=0.35), both just under 370 cell times (1 ms).
+A point is marked inadmissible (and the series truncated, like the
+paper's curves ending) once some per-link bound exceeds the advertised
+32-cell node bound.
+"""
+
+import math
+
+from repro.analysis.report import ascii_plot, render_table
+from repro.rtnet import symmetric_delay_curve
+
+LOADS = [round(0.05 * step, 2) for step in range(1, 20)]
+TERMINAL_COUNTS = [1, 4, 8, 16]
+
+
+def sweep():
+    curves = {}
+    for count in TERMINAL_COUNTS:
+        curves[f"N={count}"] = symmetric_delay_curve(
+            LOADS, terminals_per_node=count)
+    return curves
+
+
+def test_bench_fig10(once):
+    curves = once(sweep)
+    headers = ["load B"] + [f"N={count}" for count in TERMINAL_COUNTS]
+    rows = []
+    for index, load in enumerate(LOADS):
+        row = [load]
+        for count in TERMINAL_COUNTS:
+            point = curves[f"N={count}"][index]
+            row.append(round(point.delay_bound, 1)
+                       if point.admissible else "rejected")
+        rows.append(row)
+    print()
+    print(render_table(
+        headers, rows,
+        title="Figure 10: e2e queueing delay bound (cell times) vs load",
+    ))
+    series = {
+        name: [(point.load, point.delay_bound)
+               for point in points if point.admissible]
+        for name, points in curves.items()
+    }
+    print(ascii_plot(series, x_label="aggregated load B",
+                     y_label="delay bound (cell times)"))
+
+    # Paper headline checks (shape + rough magnitude).
+    n1 = {point.load: point for point in curves["N=1"]}
+    n16 = {point.load: point for point in curves["N=16"]}
+    assert n1[0.75].admissible and n1[0.75].delay_bound <= 370
+    assert n16[0.35].admissible
+    assert abs(n16[0.35].delay_bound - 370) / 370 < 0.1
+    # Delay grows with N at fixed load.
+    for load in (0.1, 0.2, 0.3):
+        delays = [curves[f"N={count}"][LOADS.index(load)].delay_bound
+                  for count in TERMINAL_COUNTS]
+        assert delays == sorted(delays)

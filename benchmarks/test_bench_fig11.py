@@ -1,0 +1,68 @@
+"""Figure 11: asymmetric cyclic traffic support.
+
+One terminal generates a fraction ``p`` of the total load; the rest is
+split equally.  For each ``p`` and N in {1, 8, 16} a bisection finds the
+largest total load the reference 16-node RTnet supports (every per-link
+bound within the 32-cell queue and every broadcast within the 1 ms
+deadline).  The paper's shape: less traffic as ``p`` grows (more
+asymmetric) and as ``N`` grows (burstier nodes).
+
+``p`` stops short of 1.0: at exactly 1.0 the equal-share connections
+vanish and a lone hot stream, serialized by its own access link, queues
+behind nobody -- a genuine model edge the paper's sampled axis never
+hits (see EXPERIMENTS.md).
+"""
+
+from repro.analysis.report import ascii_plot, render_table
+from repro.rtnet import asymmetric_capacity_curve
+
+FRACTIONS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
+TERMINAL_COUNTS = [1, 8, 16]
+
+
+def sweep():
+    return {
+        f"N={count}": asymmetric_capacity_curve(
+            FRACTIONS, terminals_per_node=count, tolerance=1 / 128)
+        for count in TERMINAL_COUNTS
+    }
+
+
+def test_bench_fig11(once):
+    curves = once(sweep)
+    rows = []
+    for index, fraction in enumerate(FRACTIONS):
+        rows.append([fraction] + [
+            round(curves[f"N={count}"][index].max_load, 3)
+            for count in TERMINAL_COUNTS
+        ])
+    print()
+    print(render_table(
+        ["p"] + [f"N={count}" for count in TERMINAL_COUNTS], rows,
+        title="Figure 11: max supported load vs asymmetry p",
+    ))
+    print(ascii_plot(
+        {name: [(point.hot_fraction, point.max_load) for point in points]
+         for name, points in curves.items()},
+        x_label="p", y_label="bandwidth"))
+
+    # Monotone decreasing in p for the bursty configurations (N=8, 16).
+    # N=1 decreases up to p=0.5 and then *recovers*: with one terminal
+    # per node, a dominant hot stream is serialized by its own access
+    # link and has almost no victims left -- a model edge discussed in
+    # EXPERIMENTS.md (the paper's N=1 curve is monotone; its exact
+    # modelling of the hot stream at extreme p is not specified).
+    for count in (8, 16):
+        loads = [point.max_load for point in curves[f"N={count}"]]
+        assert all(later <= earlier + 1 / 64
+                   for earlier, later in zip(loads, loads[1:]))
+    n1 = [point.max_load for point in curves["N=1"]
+          if point.hot_fraction <= 0.5]
+    assert all(later <= earlier + 1 / 64
+               for earlier, later in zip(n1, n1[1:]))
+    # Monotone decreasing in N at fixed p.
+    for index in range(len(FRACTIONS)):
+        by_n = [curves[f"N={count}"][index].max_load
+                for count in TERMINAL_COUNTS]
+        assert all(later <= earlier + 1 / 64
+                   for earlier, later in zip(by_n, by_n[1:]))

@@ -1,0 +1,36 @@
+"""Figure 13: hard vs soft connection admission control.
+
+Hard CAC accumulates upstream delay variation by summation (a true
+worst case); soft CAC uses the square root of the sum of squares,
+betting that a cell is never maximally delayed everywhere at once
+(Section 4.3 discussion 1).  The paper's shape: soft CAC supports at
+least as much traffic for every asymmetry ``p``.
+"""
+
+from repro.analysis.report import ascii_plot, render_table
+from repro.rtnet import soft_hard_capacity_curve
+
+FRACTIONS = [0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9]
+
+
+def sweep():
+    return soft_hard_capacity_curve(
+        FRACTIONS, terminals_per_node=16, tolerance=1 / 128)
+
+
+def test_bench_fig13(once):
+    rows = once(sweep)
+    print()
+    print(render_table(
+        ["p", "hard CAC", "soft CAC"],
+        [[p, round(hard, 3), round(soft, 3)] for p, hard, soft in rows],
+        title="Figure 13: max supported load, hard vs soft CAC (N=16)",
+    ))
+    print(ascii_plot({
+        "hard CAC": [(p, hard) for p, hard, _soft in rows],
+        "soft CAC": [(p, soft) for p, _hard, soft in rows],
+    }, x_label="p", y_label="bandwidth"))
+
+    for _p, hard, soft in rows:
+        assert soft >= hard
+    assert any(soft > hard for _p, hard, soft in rows)

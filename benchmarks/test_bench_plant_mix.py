@@ -1,0 +1,73 @@
+"""The full Table 1 plant workload on RTnet (Section 5's design check).
+
+"For a network with smaller numbers of ring nodes and/or terminals, all
+three types of cyclic traffics can be supported with a single
+transmission priority level" -- this bench maps out exactly where that
+holds: every ring node carries sets of {high, medium, low}-speed
+cyclic terminals (the Table 1 mix is ~41% of one link including cell
+overhead), feasibility requires every class to meet its own Table 1
+deadline through the 16-node ring.
+
+When single-priority operation runs out (heavily populated nodes), a
+second priority level for the slower classes restores feasibility --
+the Section 4.3 flexibility argument demonstrated on the real workload.
+"""
+
+from repro.analysis.report import render_table
+from repro.rtnet import (
+    HIGH_SPEED_DELAY_CELLS,
+    MEDIUM_SPEED,
+    RingAnalysis,
+)
+from repro.rtnet.workloads import plant_mix_workload
+
+CONFIGS = [(4, 1), (8, 1), (16, 1), (16, 2), (16, 4), (16, 5)]
+
+
+def single_priority_feasible(ring_nodes, sets):
+    workload = plant_mix_workload(ring_nodes, sets)
+    analysis = RingAnalysis(workload, ring_nodes)
+    return analysis.feasible(
+        e2e_requirements={0: HIGH_SPEED_DELAY_CELLS}), analysis
+
+
+def dual_priority_feasible(ring_nodes, sets):
+    workload = plant_mix_workload(ring_nodes, sets, priorities=(0, 1, 1))
+    analysis = RingAnalysis(workload, ring_nodes,
+                            node_bound={0: 32, 1: 512})
+    return analysis.feasible(e2e_requirements={
+        0: HIGH_SPEED_DELAY_CELLS,
+        1: MEDIUM_SPEED.delay_cell_times(),
+    })
+
+
+def sweep():
+    rows = []
+    for ring_nodes, sets in CONFIGS:
+        single, analysis = single_priority_feasible(ring_nodes, sets)
+        dual = dual_priority_feasible(ring_nodes, sets)
+        rows.append([
+            ring_nodes, sets * 3,
+            round(float(analysis.worst_e2e_bound(0)), 1),
+            single, dual,
+        ])
+    return rows
+
+
+def test_bench_plant_mix(once):
+    rows = once(sweep)
+    print()
+    print(render_table(
+        ["ring nodes", "terminals/node",
+         "e2e bound (cells, 1 prio)", "1 priority ok", "2 priorities ok"],
+        rows,
+        title="Table 1 mix on RTnet: where one priority level suffices",
+    ))
+    by_config = {(r[0], r[1]): r for r in rows}
+    # The paper's statement: small configurations fit on one priority.
+    assert by_config[(4, 3)][3] is True
+    assert by_config[(16, 3)][3] is True
+    # Heavily populated nodes break the 1 ms deadline on one priority...
+    assert by_config[(16, 15)][3] is False
+    # ...and a second priority level restores the whole mix.
+    assert by_config[(16, 15)][4] is True

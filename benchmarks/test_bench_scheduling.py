@@ -1,0 +1,92 @@
+"""Scheduling-discipline comparison: plain FIFO vs the paper vs EDF.
+
+The paper's pitch: hard guarantees on *existing* switches, i.e. static
+priority FIFO, where prior work assumed deadline scheduling.  This
+bench puts the three disciplines side by side on the same traffic --
+a deadline-critical sparse stream sharing a port with bursty bulk
+transfers -- and reports the worst queueing delay of the critical
+stream:
+
+* single FIFO queue: the critical cell waits out whole bulk bursts;
+* static priority FIFO (the paper's assumption): the critical class
+  jumps the bulk queue -- most of the benefit, zero exotic hardware;
+* EDF (per-cell deadlines): like static priority here, with finer
+  granularity that only matters when classes outnumber queues.
+"""
+
+from repro.analysis.report import render_table
+from repro.sim import (
+    CbrSource,
+    EdfPort,
+    Engine,
+    GreedyVbrSource,
+    SimSwitch,
+)
+from repro.core.traffic import VBRParameters
+
+CRITICAL_RATE = 0.05
+BULK = VBRParameters(pcr=0.5, scr=0.05, mbs=16)
+HORIZON = 2000.0
+
+
+def run_discipline(discipline):
+    engine = Engine()
+    delivered = []
+    switch = SimSwitch(engine, "sw")
+    bulk_names = [f"bulk{index}" for index in range(3)]
+    if discipline == "edf":
+        budgets = {"critical": 4.0}
+        budgets.update({name: 400.0 for name in bulk_names})
+        switch.add_custom_port("out", EdfPort(
+            engine, "sw:out", delivered.append, budgets=budgets))
+        priorities = {name: 0 for name in ["critical"] + bulk_names}
+    else:
+        switch.add_port("out", delivered.append)
+        if discipline == "static-priority":
+            priorities = {"critical": 0}
+            priorities.update({name: 1 for name in bulk_names})
+        else:                      # single shared FIFO
+            priorities = {name: 0 for name in ["critical"] + bulk_names}
+    for name, priority in priorities.items():
+        switch.set_forwarding(name, "out", priority)
+    CbrSource(engine, "critical", CRITICAL_RATE, switch.receive,
+              phase=0.6, until=HORIZON)
+    for index, name in enumerate(bulk_names):
+        GreedyVbrSource(engine, name, BULK, 60, switch.receive,
+                        phase=index * 0.2)
+    engine.run()
+    worst = {}
+    for cell in delivered:
+        worst[cell.connection] = max(
+            worst.get(cell.connection, 0.0), cell.hop_waits[0])
+    return worst
+
+
+def sweep():
+    return {d: run_discipline(d)
+            for d in ("fifo", "static-priority", "edf")}
+
+
+def test_bench_scheduling(once):
+    results = once(sweep)
+    rows = [
+        [discipline,
+         round(worst.get("critical", 0.0), 1),
+         round(max(worst.get(f"bulk{index}", 0.0)
+                   for index in range(3)), 1)]
+        for discipline, worst in results.items()
+    ]
+    print()
+    print(render_table(
+        ["discipline", "critical worst wait", "bulk worst wait"],
+        rows,
+        title="Scheduling comparison on one contended port (cell times)",
+    ))
+    fifo = results["fifo"]["critical"]
+    static = results["static-priority"]["critical"]
+    edf = results["edf"]["critical"]
+    # The paper's static priorities rescue the critical class...
+    assert static < fifo
+    # ...and capture essentially all of what EDF would offer here
+    # (within the one-cell non-preemption blocking).
+    assert abs(static - edf) <= 1.0

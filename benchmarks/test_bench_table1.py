@@ -1,0 +1,38 @@
+"""Table 1: the three cyclic-transmission classes of RTnet.
+
+Regenerates the period / delay / memory / bandwidth rows; the bandwidth
+column is *computed* from the class parameters (memory image shipped in
+53-byte cells every period) and compared against the figures the paper
+prints (32 / 17.5 / 6.8 Mbps).
+"""
+
+from repro.analysis.report import render_table
+from repro.rtnet import TABLE_1, required_bandwidth_mbps
+
+
+def build_table1():
+    rows = []
+    for cls in TABLE_1.values():
+        rows.append([
+            cls.name,
+            cls.period_ms,
+            cls.delay_ms,
+            cls.memory_kb,
+            round(required_bandwidth_mbps(cls), 1),
+            cls.paper_bandwidth_mbps,
+        ])
+    return rows
+
+
+def test_bench_table1(once):
+    rows = once(build_table1)
+    print()
+    print(render_table(
+        ["class", "period (ms)", "delay (ms)", "memory (KB)",
+         "bandwidth (Mbps, computed)", "bandwidth (Mbps, paper)"],
+        rows,
+        title="Table 1: types of cyclic transmission",
+    ))
+    for row in rows:
+        computed, paper = row[4], row[5]
+        assert abs(computed - paper) / paper < 0.15

@@ -1,0 +1,96 @@
+"""V1 (validation): simulated worst delays never exceed analytic bounds.
+
+Randomized configurations -- mixes of CBR and shaped VBR connections
+over a star and a line -- run through the cell-level simulator; every
+connection's observed worst end-to-end queueing delay is compared with
+the bound the admission control computed.  One violation anywhere would
+falsify the worst-case analysis; the margin column shows how much slack
+the (intentionally conservative) hard bounds leave on non-adversarial
+traffic.
+"""
+
+import random
+from fractions import Fraction as F
+
+from repro.analysis.report import render_table
+from repro.core import NetworkCAC
+from repro.core.traffic import VBRParameters, cbr
+from repro.network.connection import ConnectionRequest
+from repro.network.routing import shortest_path
+from repro.network.topology import line_network, star_network
+from repro.sim import CbrSource, RandomVbrSource, SimNetwork
+
+HORIZON = 4000.0
+
+
+def run_random_config(seed):
+    rng = random.Random(seed)
+    if rng.random() < 0.5:
+        net = star_network(5, bounds={0: 256})
+        destinations = ["t4"]
+        sources = [f"t{i}" for i in range(4)]
+    else:
+        net = line_network(3, bounds={0: 256}, terminals_per_switch=2)
+        destinations = ["t2.0", "t2.1"]
+        sources = ["t0.0", "t0.1", "t1.0", "t1.1"]
+
+    cac = NetworkCAC(net)
+    sim = SimNetwork(net, unbounded_queues=True)
+    flows = []
+    for index, src in enumerate(sources):
+        dst = rng.choice(destinations)
+        if rng.random() < 0.5:
+            rate = F(1, rng.choice([8, 10, 16]))
+            traffic = cbr(rate)
+        else:
+            pcr = F(1, rng.choice([2, 4]))
+            scr = pcr / rng.choice([4, 8])
+            traffic = VBRParameters(pcr=pcr, scr=scr,
+                                    mbs=rng.randint(2, 6))
+        name = f"vc{index}"
+        route = shortest_path(net, src, dst)
+        request = ConnectionRequest(name, traffic, route)
+        if not cac.would_admit(request):
+            continue
+        cac.setup(request)
+        sim.attach_route(name, route)
+        if traffic.is_cbr:
+            CbrSource(sim.engine, name, float(traffic.pcr),
+                      sim.ingress(name), phase=rng.random() * 4,
+                      until=HORIZON)
+        else:
+            RandomVbrSource(sim.engine, name, traffic, sim.ingress(name),
+                            until=HORIZON, seed=seed * 100 + index)
+        flows.append((name, route))
+    sim.run(until=HORIZON + 600)
+
+    rows = []
+    for name, route in flows:
+        bound = float(cac.computed_e2e_bound(route, 0))
+        observed = sim.metrics.stats(name).max_e2e_delay
+        rows.append((seed, name, observed, bound))
+    return rows
+
+
+def sweep():
+    rows = []
+    for seed in range(8):
+        rows.extend(run_random_config(seed))
+    return rows
+
+
+def test_bench_validation(once):
+    rows = once(sweep)
+    print()
+    print(render_table(
+        ["seed", "connection", "worst simulated delay", "analytic bound"],
+        [[seed, name, round(observed, 2), round(bound, 2)]
+         for seed, name, observed, bound in rows],
+        title="V1: simulated worst-case vs analytic bound",
+    ))
+    assert rows, "no connections were admitted across any seed"
+    for seed, name, observed, bound in rows:
+        assert observed <= bound + 1e-9, (
+            f"seed {seed} connection {name}: simulated delay {observed} "
+            f"exceeds the analytic bound {bound}"
+        )

@@ -1,0 +1,66 @@
+"""VBR feasibility (the Section 5 discussion under Figure 10).
+
+The paper observes that the worst-case aggregate of N jittered CBR
+connections per ring node equals one VBR connection with ``MBS = N``
+(and SCR equal to the node's share), so Figure 10 doubles as a VBR
+feasibility chart: "up to 35% of real-time VBR traffic can be supported
+... if the summation of MBS's of VBR connections established at
+terminals attached to a ring node does not exceed 16".
+
+This bench computes the max supportable VBR load as a function of the
+per-node burst allowance and checks the equivalence: the MBS=16 VBR
+limit must coincide with the N=16 CBR limit, and MBS=1 with N=1.
+"""
+
+from repro.analysis.capacity import max_feasible_load
+from repro.analysis.report import render_table
+from repro.rtnet import (
+    HIGH_SPEED_DELAY_CELLS,
+    RingAnalysis,
+    symmetric_workload,
+)
+from repro.rtnet.evaluation import vbr_capacity_curve
+
+MBS_VALUES = [1, 2, 4, 8, 16, 24]
+
+
+def cbr_limit(terminals_per_node: int) -> float:
+    def feasible(load: float) -> bool:
+        analysis = RingAnalysis(
+            symmetric_workload(load, 16, terminals_per_node), 16)
+        return analysis.feasible(
+            e2e_requirements={0: HIGH_SPEED_DELAY_CELLS})
+    return max_feasible_load(feasible, tolerance=1 / 128)
+
+
+def sweep():
+    vbr = vbr_capacity_curve(MBS_VALUES, tolerance=1 / 128)
+    return {
+        "vbr": vbr,
+        "cbr_n1": cbr_limit(1),
+        "cbr_n16": cbr_limit(16),
+    }
+
+
+def test_bench_vbr_feasibility(once):
+    result = once(sweep)
+    vbr = dict(result["vbr"])
+    print()
+    print(render_table(
+        ["MBS per node", "max VBR load"],
+        [[mbs, round(load, 3)] for mbs, load in result["vbr"]],
+        title="VBR feasibility: burst allowance vs supportable load",
+    ))
+    print(f"CBR N=1  limit: {result['cbr_n1']:.3f}   "
+          f"(VBR MBS=1:  {vbr[1]:.3f})")
+    print(f"CBR N=16 limit: {result['cbr_n16']:.3f}   "
+          f"(VBR MBS=16: {vbr[16]:.3f})")
+
+    # Monotone: bigger bursts, less supportable load.
+    loads = [load for _mbs, load in result["vbr"]]
+    assert loads == sorted(loads, reverse=True)
+    # The Section 5 equivalence, within bisection tolerance.
+    assert abs(vbr[16] - result["cbr_n16"]) < 0.02
+    assert abs(vbr[1] - result["cbr_n1"]) < 0.02
+    # The paper's 35%-at-MBS-16 headline (within 10%).
+    assert abs(vbr[16] - 0.35) / 0.35 < 0.10

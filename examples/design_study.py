@@ -1,0 +1,98 @@
+"""A complete RTnet design study, the way a plant engineer would run it.
+
+One script, four questions the CAC answers during network design
+(Section 5 credits it with exactly this role):
+
+1. How much cyclic traffic fits, per terminal density?
+2. Are the shipped 32-cell buffers big enough?
+3. Does the full Table 1 class mix fit -- and on how many priorities?
+4. How much hard real-time capacity survives a ring failure?
+
+Run:  python examples/design_study.py
+"""
+
+from repro.analysis.report import render_table
+from repro.rtnet import (
+    CYCLIC_QUEUE_CELLS,
+    HIGH_SPEED_DELAY_CELLS,
+    MEDIUM_SPEED,
+    RingAnalysis,
+    failover_capacity,
+    symmetric_delay_curve,
+    symmetric_workload,
+)
+from repro.rtnet.workloads import plant_mix_workload
+from repro.units import RTNET_LINK
+
+
+def question_1_capacity() -> None:
+    print("Q1. Cyclic capacity under the 1 ms deadline")
+    rows = []
+    for terminals in (1, 8, 16):
+        best = 0.0
+        for step in range(1, 100):
+            point = symmetric_delay_curve(
+                [step / 100], terminals_per_node=terminals)[0]
+            if point.admissible and point.delay_bound <= HIGH_SPEED_DELAY_CELLS:
+                best = step / 100
+            else:
+                break
+        rows.append([terminals, f"{best:.0%}",
+                     f"{RTNET_LINK.normalized_to_mbps(best):.0f} Mbps"])
+    print(render_table(["terminals/node", "max load", "absolute"], rows))
+    print()
+
+
+def question_2_buffers() -> None:
+    print("Q2. Do the 32-cell queues suffice at the design points?")
+    rows = []
+    for terminals, load in ((1, 0.75), (16, 0.35)):
+        analysis = RingAnalysis(symmetric_workload(load, 16, terminals), 16)
+        need = float(analysis.worst_link_backlog(0))
+        rows.append([f"N={terminals}, B={load}", round(need, 1),
+                     CYCLIC_QUEUE_CELLS, need <= CYCLIC_QUEUE_CELLS])
+    print(render_table(
+        ["design point", "worst backlog (cells)", "queue", "fits"], rows))
+    print()
+
+
+def question_3_class_mix() -> None:
+    print("Q3. The full Table 1 mix: how dense before priorities help?")
+    rows = []
+    for sets in (1, 4, 5):
+        single = RingAnalysis(plant_mix_workload(16, sets), 16).feasible(
+            e2e_requirements={0: HIGH_SPEED_DELAY_CELLS})
+        dual = RingAnalysis(
+            plant_mix_workload(16, sets, priorities=(0, 1, 1)), 16,
+            node_bound={0: 32, 1: 512},
+        ).feasible(e2e_requirements={
+            0: HIGH_SPEED_DELAY_CELLS,
+            1: MEDIUM_SPEED.delay_cell_times(),
+        })
+        rows.append([sets * 3, single, dual])
+    print(render_table(
+        ["terminals/node", "1 priority", "2 priorities"], rows))
+    print()
+
+
+def question_4_failover() -> None:
+    print("Q4. Capacity that survives a single ring failure")
+    rows = []
+    for terminals in (1, 16):
+        healthy, wrapped = failover_capacity(terminals, tolerance=1 / 64)
+        rows.append([terminals, f"{healthy:.0%}", f"{wrapped:.0%}",
+                     f"{wrapped / healthy:.0%}"])
+    print(render_table(
+        ["terminals/node", "healthy", "after wrap", "kept"], rows))
+
+
+def main() -> None:
+    print("RTnet design study: 16 ring nodes, 155 Mbps, 32-cell queues\n")
+    question_1_capacity()
+    question_2_buffers()
+    question_3_class_mix()
+    question_4_failover()
+
+
+if __name__ == "__main__":
+    main()

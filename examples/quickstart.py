@@ -1,0 +1,77 @@
+"""Quickstart: establish hard real-time connections with guaranteed delays.
+
+A four-terminal star network; we set up CBR and VBR connections, read
+the end-to-end queueing delay guarantees the network commits to, watch
+the admission control refuse a connection that would break an existing
+guarantee, and tear connections down again.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction as F
+
+from repro import (
+    ConnectionRequest,
+    NetworkCAC,
+    SwitchRejection,
+    VBRParameters,
+    cbr,
+    shortest_path,
+)
+from repro.network import SignalingTrace, star_network
+
+
+def main() -> None:
+    # A single switch ("hub") with four terminals.  Every hub output
+    # port guarantees at most 32 cell times of queueing to priority 0
+    # (it has a 32-cell FIFO for real-time traffic).
+    net = star_network(4, bounds={0: 32})
+    cac = NetworkCAC(net)   # hard real-time CDV accumulation by default
+
+    # --- A CBR connection: peak rate a quarter of the link ------------
+    video = ConnectionRequest(
+        "video", cbr(F(1, 4)), shortest_path(net, "t0", "t3"),
+        delay_bound=50,
+    )
+    established = cac.setup(video)
+    print(f"'{established.name}' established; the network guarantees at "
+          f"most {established.e2e_bound} cell times of queueing")
+
+    # --- A bursty VBR connection, with the signalling walk shown ------
+    sensor = ConnectionRequest(
+        "sensor-burst",
+        VBRParameters(pcr=F(1, 2), scr=F(1, 16), mbs=8),
+        shortest_path(net, "t1", "t3"),
+    )
+    trace = SignalingTrace()
+    cac.setup(sensor, trace=trace)
+    print(f"'{sensor.name}' established; signalling messages:")
+    for message in trace:
+        print(f"   {type(message).__name__} at {message.at_node}")
+
+    # --- Current worst-case state of the shared output port ----------
+    hub = cac.switch("hub")
+    print(f"hub->t3 worst-case delay bound now: "
+          f"{float(hub.computed_bound('hub->t3', 0)):.2f} cell times")
+    print(f"hub->t3 buffer needed for zero loss: "
+          f"{float(hub.buffer_requirement('hub->t3', 0)):.2f} cells")
+
+    # --- A connection the network must refuse -------------------------
+    greedy = ConnectionRequest(
+        "greedy", cbr(F(9, 10)), shortest_path(net, "t2", "t3"))
+    try:
+        cac.setup(greedy)
+    except SwitchRejection as rejection:
+        print(f"'greedy' refused by switch {rejection.switch!r}: "
+              f"worst-case delay would be {rejection.computed_bound} "
+              f"> advertised {rejection.advertised_bound}")
+
+    # --- Teardown restores capacity ------------------------------------
+    cac.teardown("video")
+    cac.teardown("sensor-burst")
+    print(f"after teardown, hub->t3 bound: "
+          f"{float(hub.computed_bound('hub->t3', 0))} (idle)")
+
+
+if __name__ == "__main__":
+    main()

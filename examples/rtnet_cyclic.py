@@ -1,0 +1,87 @@
+"""RTnet cyclic transmission: the paper's plant-control scenario.
+
+Builds the reference 16-node RTnet, loads it with the symmetric cyclic
+workload (every terminal broadcasting its share of the distributed
+shared memory), and answers the questions Section 5 asks:
+
+* how much cyclic traffic fits under the 1 ms deadline for various
+  terminal counts (Figure 10's headline points);
+* whether the Table 1 traffic mix fits;
+* how big the ring-node buffers must be.
+
+Run:  python examples/rtnet_cyclic.py
+"""
+
+from repro.analysis.report import render_table
+from repro.rtnet import (
+    CYCLIC_QUEUE_CELLS,
+    HIGH_SPEED_DELAY_CELLS,
+    RingAnalysis,
+    TABLE_1,
+    required_bandwidth_mbps,
+    symmetric_delay_curve,
+    symmetric_workload,
+)
+from repro.units import RTNET_LINK
+
+
+def cyclic_classes() -> None:
+    print("Cyclic transmission classes (Table 1):")
+    rows = [
+        [cls.name, cls.period_ms, cls.memory_kb,
+         round(required_bandwidth_mbps(cls), 1)]
+        for cls in TABLE_1.values()
+    ]
+    print(render_table(
+        ["class", "period (ms)", "memory (KB)", "bandwidth (Mbps)"], rows))
+    total = sum(cls.normalized_rate() for cls in TABLE_1.values())
+    print(f"all three classes together: {total:.3f} of one 155 Mbps link\n")
+
+
+def capacity_study() -> None:
+    print("Symmetric cyclic capacity under the 1 ms deadline:")
+    rows = []
+    for terminals in (1, 4, 8, 16):
+        supported = 0.0
+        for step in range(1, 100):
+            load = step / 100
+            point = symmetric_delay_curve(
+                [load], terminals_per_node=terminals)[0]
+            if point.admissible and point.delay_bound <= HIGH_SPEED_DELAY_CELLS:
+                supported = load
+            else:
+                break
+        rows.append([
+            terminals, f"{supported:.0%}",
+            f"{RTNET_LINK.normalized_to_mbps(supported):.0f} Mbps",
+        ])
+    print(render_table(
+        ["terminals per node", "max cyclic load", "absolute"], rows))
+    print()
+
+
+def buffer_study() -> None:
+    print("Ring-node buffer requirement at the Figure 10 headline points:")
+    rows = []
+    for terminals, load in ((1, 0.75), (16, 0.35)):
+        workload = symmetric_workload(load, 16, terminals)
+        analysis = RingAnalysis(workload, 16)
+        worst = float(analysis.worst_link_bound(0))
+        rows.append([
+            f"N={terminals}, B={load}", round(worst, 1),
+            CYCLIC_QUEUE_CELLS,
+            "fits" if worst <= CYCLIC_QUEUE_CELLS else "overflows",
+        ])
+    print(render_table(
+        ["configuration", "worst per-node backlog/delay (cells)",
+         "queue (cells)", "verdict"], rows))
+
+
+def main() -> None:
+    cyclic_classes()
+    capacity_study()
+    buffer_study()
+
+
+if __name__ == "__main__":
+    main()

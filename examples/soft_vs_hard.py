@@ -1,0 +1,55 @@
+"""Hard vs soft CAC: trading certainty for capacity (Section 4.3).
+
+Hard real-time CAC assumes a cell can hit the maximum delay at *every*
+upstream switch simultaneously (CDV = sum of advertised bounds).  Soft
+CAC uses the square root of the sum of squares -- much less clumping
+assumed, so more traffic fits.  The difference only shows where deep
+routes accumulate a lot of CDV, so this example measures it on the
+16-node RTnet ring (15 hops per broadcast), sweeping the number of
+terminals per node.
+
+Run:  python examples/soft_vs_hard.py
+"""
+
+from repro.analysis.capacity import max_feasible_load
+from repro.analysis.report import render_table
+from repro.rtnet import (
+    HIGH_SPEED_DELAY_CELLS,
+    RingAnalysis,
+    symmetric_workload,
+)
+
+
+def max_load(policy: str, terminals_per_node: int) -> float:
+    """Largest symmetric cyclic load supportable under one policy."""
+    def feasible(load: float) -> bool:
+        workload = symmetric_workload(load, 16, terminals_per_node)
+        analysis = RingAnalysis(workload, 16, cdv_policy=policy)
+        return analysis.feasible(
+            e2e_requirements={0: HIGH_SPEED_DELAY_CELLS})
+    return max_feasible_load(feasible, tolerance=1 / 256)
+
+
+def main() -> None:
+    print("Max symmetric cyclic load on the 16-node RTnet under the")
+    print("1 ms deadline, hard vs soft CDV accumulation:\n")
+    rows = []
+    for terminals in (1, 4, 8, 16):
+        hard = max_load("hard", terminals)
+        soft = max_load("soft", terminals)
+        rows.append([
+            terminals, f"{hard:.1%}", f"{soft:.1%}",
+            f"+{(soft - hard) / hard:.0%}" if hard else "n/a",
+        ])
+    print(render_table(
+        ["terminals per node", "hard CAC", "soft CAC", "soft gain"], rows))
+    print("\nSoft CAC admits more everywhere: the chance of a cell being")
+    print("maximally delayed at all 15 hops at once is negligible, which")
+    print("is exactly the bet soft real-time applications take (the paper")
+    print("suggests it for soft RT connections; Figure 13 quantifies it).")
+    for _terminals, hard, soft, _gain in rows:
+        assert float(soft.strip("%")) >= float(hard.strip("%"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""repro -- bit-stream connection admission control for hard real-time ATM.
+
+A from-scratch reproduction of *"Connection Admission Control for Hard
+Real-Time Communication in ATM Networks"* (Zheng, Yokotani, Ichihashi,
+Nemoto -- MERL TR-96-21 / ICDCS 1997):
+
+* :mod:`repro.core` -- the bit-stream traffic model, the manipulation
+  algebra (delay / multiplex / demultiplex / filter), the worst-case
+  queueing analysis and the CAC scheme itself;
+* :mod:`repro.network` -- topology, routing and signalling substrate;
+* :mod:`repro.sim` -- a cell-level discrete-event simulator used to
+  validate the analytical bounds;
+* :mod:`repro.rtnet` -- the RTnet plant-control network model and the
+  paper's Section 5 evaluation workloads;
+* :mod:`repro.analysis` -- capacity search, sweeps and report rendering.
+
+Quickstart::
+
+    from repro import NetworkCAC, ConnectionRequest, cbr
+    from repro.network import star_network, shortest_path
+
+    net = star_network(4, bounds={0: 32})
+    cac = NetworkCAC(net)
+    request = ConnectionRequest(
+        "vc0", cbr(0.25), shortest_path(net, "t0", "t1"), delay_bound=32)
+    established = cac.setup(request)
+    print(established.e2e_bound)    # guaranteed queueing delay, cell times
+"""
+
+from .core import (
+    HARD,
+    SOFT,
+    BitStream,
+    NetworkCAC,
+    PeakBandwidthCAC,
+    SustainedBandwidthCAC,
+    SwitchCAC,
+    VBRParameters,
+    aggregate,
+    cbr,
+    delay_bound,
+)
+from .exceptions import (
+    AdmissionError,
+    BitStreamError,
+    QosUnsatisfiable,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    SwitchRejection,
+    TopologyError,
+    TrafficModelError,
+    UnstableSystemError,
+)
+from .network import (
+    ConnectionRequest,
+    EstablishedConnection,
+    Network,
+    Route,
+    ring_walk,
+    shortest_path,
+)
+from .units import CELL_BITS, CELL_BYTES, LinkRate, RTNET_LINK
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "BitStream",
+    "aggregate",
+    "VBRParameters",
+    "cbr",
+    "delay_bound",
+    "SwitchCAC",
+    "NetworkCAC",
+    "PeakBandwidthCAC",
+    "SustainedBandwidthCAC",
+    "HARD",
+    "SOFT",
+    # network
+    "Network",
+    "Route",
+    "shortest_path",
+    "ring_walk",
+    "ConnectionRequest",
+    "EstablishedConnection",
+    # units
+    "LinkRate",
+    "RTNET_LINK",
+    "CELL_BITS",
+    "CELL_BYTES",
+    # exceptions
+    "ReproError",
+    "TrafficModelError",
+    "BitStreamError",
+    "UnstableSystemError",
+    "AdmissionError",
+    "SwitchRejection",
+    "QosUnsatisfiable",
+    "RoutingError",
+    "TopologyError",
+    "SimulationError",
+]

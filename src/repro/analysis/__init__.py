@@ -1,0 +1,16 @@
+"""Evaluation support: capacity search and report rendering."""
+
+from .capacity import max_feasible_load
+from .report import ascii_plot, render_series, render_table, to_csv
+from .sweep import SweepResult, sweep_1d, sweep_2d
+
+__all__ = [
+    "max_feasible_load",
+    "render_table",
+    "render_series",
+    "ascii_plot",
+    "to_csv",
+    "SweepResult",
+    "sweep_1d",
+    "sweep_2d",
+]

@@ -1,0 +1,50 @@
+"""Capacity search: the largest feasible load under a predicate.
+
+The Figures 11-13 sweeps all reduce to "find the biggest total load
+``B`` in ``[0, 1]`` such that ``feasible(B)`` holds".  Feasibility is
+monotone in ``B`` for these workloads (more traffic never helps), so a
+bisection suffices; a defensive initial scan handles the degenerate
+edges (nothing feasible / everything feasible).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["max_feasible_load"]
+
+
+def max_feasible_load(feasible: Callable[[float], bool],
+                      low: float = 0.0,
+                      high: float = 1.0,
+                      tolerance: float = 1 / 128,
+                      ) -> float:
+    """Largest ``B`` in ``[low, high]`` with ``feasible(B)`` true.
+
+    Assumes monotone feasibility (true below some threshold, false
+    above).  Returns ``low`` when even the smallest probed load is
+    infeasible and ``high`` when everything fits.  The answer is
+    accurate to ``tolerance``.
+
+    Examples
+    --------
+    >>> max_feasible_load(lambda b: b <= 0.4, tolerance=1/1024)  # doctest: +ELLIPSIS
+    0.39...
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    if low >= high:
+        raise ValueError(f"need low < high, got [{low}, {high}]")
+    if feasible(high):
+        return high
+    probe = low + tolerance
+    if probe >= high or not feasible(probe):
+        return low
+    lo, hi = probe, high          # feasible(lo), not feasible(hi)
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,116 @@
+"""Plain-text rendering of evaluation results.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers format them as aligned ASCII tables
+and quick ASCII line plots so a bench run is readable in a terminal,
+plus CSV output for anyone who wants to re-plot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "ascii_plot", "to_csv"]
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """An aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5], [10, 0.25]]))
+    a  | b
+    ----+-----
+    1  | 2.5
+    10 | 0.25
+    """
+    rendered_rows = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)),
+            max((len(row[col]) for row in rendered_rows), default=0))
+        for col, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    ).rstrip())
+    lines.append("-+-".join("-" * (width + 1) for width in widths)[:-1])
+    for row in rendered_rows:
+        lines.append(" | ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)
+        ).rstrip())
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_series(name: str,
+                  points: Sequence[Tuple[float, float]]) -> str:
+    """One labelled data series as ``x -> y`` rows."""
+    body = "\n".join(
+        f"  {x:>8.4g} -> {_fmt(float(y))}" for x, y in points
+    )
+    return f"{name}:\n{body}"
+
+
+def ascii_plot(series: Mapping[str, Sequence[Tuple[float, float]]],
+               width: int = 64, height: int = 16,
+               x_label: str = "x", y_label: str = "y") -> str:
+    """A crude multi-series ASCII scatter plot.
+
+    Each series gets a marker character; infinities are skipped.  Meant
+    for eyeballing curve shapes in bench output, not for publication.
+    """
+    markers = "*o+x#@%&"
+    cleaned: Dict[str, List[Tuple[float, float]]] = {}
+    for name, points in series.items():
+        keep = [(float(x), float(y)) for x, y in points
+                if not math.isinf(float(y))]
+        if keep:
+            cleaned[name] = keep
+    if not cleaned:
+        return "(no finite data)"
+    xs = [x for pts in cleaned.values() for x, _y in pts]
+    ys = [y for pts in cleaned.values() for _x, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(sorted(cleaned.items())):
+        mark = markers[index % len(markers)]
+        for x, y in points:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+    lines = [f"{y_label} [{_fmt(y_lo)} .. {_fmt(y_hi)}]"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{_fmt(x_lo)} .. {_fmt(x_hi)}]")
+    legend = "  ".join(
+        f"{markers[index % len(markers)]}={name}"
+        for index, name in enumerate(sorted(cleaned)))
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str],
+           rows: Sequence[Sequence[object]]) -> str:
+    """Comma-separated rendering (no quoting; values must be simple)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(_fmt(value) for value in row))
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Cell-delay-variation accumulation policies (Section 4.3, discussion 1).
+
+As a connection crosses switches, each queueing point adds jitter: a
+cell may be delayed anywhere between zero and that switch's delay bound.
+The worst-case arrival stream at switch ``k`` is the source envelope
+clumped by the *accumulated* delay variation over switches ``1..k-1``
+(Algorithm 3.1).  How the per-switch bounds combine into that CDV is a
+policy choice:
+
+* **Hard** -- plain summation.  A cell could, in principle, hit the
+  maximum delay at every upstream switch simultaneously, so summation is
+  the only choice that yields a true worst-case guarantee.  Used for
+  hard real-time connections.
+* **Soft** -- square-root of the sum of squares.  The probability of a
+  cell being maximally delayed everywhere at once is vanishingly small;
+  the paper suggests this less conservative accumulation for soft
+  real-time connections, trading absolute certainty for capacity
+  (evaluated in Figure 13).
+
+Policies are pluggable: anything implementing :class:`CdvPolicy` works,
+and :func:`make_policy` resolves the two named schemes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence, Union
+
+from .bitstream import Number
+
+__all__ = [
+    "CdvPolicy",
+    "HardCdv",
+    "SoftCdv",
+    "make_policy",
+    "HARD",
+    "SOFT",
+]
+
+
+class CdvPolicy(Protocol):
+    """Combines upstream per-switch delay bounds into an accumulated CDV."""
+
+    #: short name used in reports ("hard", "soft", ...)
+    name: str
+
+    def accumulate(self, upstream_bounds: Sequence[Number]) -> Number:
+        """CDV (cell times) after passing the given upstream bounds."""
+        ...  # pragma: no cover
+
+
+class HardCdv:
+    """Worst-case accumulation: the sum of upstream delay bounds."""
+
+    name = "hard"
+
+    def accumulate(self, upstream_bounds: Sequence[Number]) -> Number:
+        total: Number = 0
+        for bound in upstream_bounds:
+            if bound < 0:
+                raise ValueError(f"delay bound must be >= 0, got {bound}")
+            total += bound
+        return total
+
+    def __repr__(self) -> str:
+        return "HardCdv()"
+
+
+class SoftCdv:
+    """Square-root-of-sum-of-squares accumulation for soft real time.
+
+    Always at most the hard sum (Cauchy-Schwarz) and at least the single
+    largest upstream bound, so soft CAC admits a superset of what hard
+    CAC admits while still accounting for jitter growth along the route.
+    """
+
+    name = "soft"
+
+    def accumulate(self, upstream_bounds: Sequence[Number]) -> float:
+        total = 0.0
+        for bound in upstream_bounds:
+            if bound < 0:
+                raise ValueError(f"delay bound must be >= 0, got {bound}")
+            total += float(bound) * float(bound)
+        return math.sqrt(total)
+
+    def __repr__(self) -> str:
+        return "SoftCdv()"
+
+
+HARD = HardCdv()
+SOFT = SoftCdv()
+
+_NAMED = {"hard": HARD, "soft": SOFT}
+
+
+def make_policy(policy: Union[str, CdvPolicy]) -> CdvPolicy:
+    """Resolve a policy given by name ("hard"/"soft") or instance."""
+    if isinstance(policy, str):
+        try:
+            return _NAMED[policy.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown CDV policy {policy!r}; expected one of "
+                f"{sorted(_NAMED)}"
+            ) from None
+    return policy

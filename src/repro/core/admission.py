@@ -1,0 +1,298 @@
+"""Network-level connection admission control.
+
+:class:`NetworkCAC` glues the per-switch checks of
+:class:`~repro.core.switch_cac.SwitchCAC` into the route-level setup
+procedure of Section 4: walk the preselected route, reconstruct the
+connection's worst-case arrival stream at every hop from its source
+envelope and the CDV accumulated over the *fixed advertised bounds* of
+the upstream hops, run the per-switch check, and commit only if every
+hop accepts and the route's advertised bounds add up to no more than the
+requested end-to-end bound ``D``.
+
+Because every hop's arrival stream is derived from the source contract
+plus fixed upstream bounds -- never from the distorted output of the
+previous hop -- the per-hop checks are mutually independent and the
+procedure needs no iteration, which is one of the paper's selling points
+over the rate-function scheme of Raha et al.
+
+The same object serves as the "central connection management server" the
+paper plans for RTnet's switched connections: it owns every switch's CAC
+state and can also answer hypothetical (non-mutating) queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..exceptions import AdmissionError, QosUnsatisfiable, SwitchRejection
+from ..network.connection import (
+    ConnectionRequest,
+    EstablishedConnection,
+    HopCommitment,
+)
+from ..network.routing import Route
+from ..network.signaling import (
+    ConnectedMessage,
+    RejectMessage,
+    ReleaseMessage,
+    SetupMessage,
+    SignalingTrace,
+)
+from ..network.topology import Network
+from .accumulation import CdvPolicy, make_policy
+from .bitstream import BitStream, Number
+from .switch_cac import SwitchCAC
+
+__all__ = ["NetworkCAC"]
+
+
+class NetworkCAC:
+    """Admission control for a whole network.
+
+    Parameters
+    ----------
+    network:
+        The topology; every switch output port that should carry
+        real-time traffic must have advertised ``bounds`` on its link.
+    cdv_policy:
+        ``"hard"`` (worst-case summation -- the default, required for
+        hard real-time guarantees), ``"soft"`` (square-root of the sum
+        of squares, Section 4.3 discussion 1), or any custom
+        :class:`~repro.core.accumulation.CdvPolicy`.
+    filter_per_input:
+        Forwarded to every switch; ``False`` reproduces the coarser
+        no-link-filtering analysis for the ablation bench.
+
+    Examples
+    --------
+    >>> from repro.network.topology import star_network
+    >>> from repro.network.routing import shortest_path
+    >>> from repro.network.connection import ConnectionRequest
+    >>> from repro.core.traffic import cbr
+    >>> net = star_network(2, bounds={0: 32})
+    >>> cac = NetworkCAC(net)
+    >>> request = ConnectionRequest(
+    ...     "vc0", cbr(0.3), shortest_path(net, "t0", "t1"))
+    >>> established = cac.setup(request)
+    >>> established.e2e_bound
+    32
+    """
+
+    def __init__(self, network: Network,
+                 cdv_policy: Union[str, CdvPolicy] = "hard",
+                 filter_per_input: bool = True):
+        self.network = network
+        self.cdv_policy = make_policy(cdv_policy)
+        self.filter_per_input = filter_per_input
+        self._switches: Dict[str, SwitchCAC] = {}
+        self._established: Dict[str, EstablishedConnection] = {}
+        for switch in network.switches():
+            cac = SwitchCAC(switch.name, filter_per_input=filter_per_input)
+            for link in network.out_links(switch.name):
+                if link.bounds:
+                    cac.configure_link(link.name, link.bounds)
+            self._switches[switch.name] = cac
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def switch(self, name: str) -> SwitchCAC:
+        """The per-switch CAC state of one switching node."""
+        try:
+            return self._switches[name]
+        except KeyError:
+            raise AdmissionError(f"no switch named {name!r}") from None
+
+    @property
+    def established(self) -> Mapping[str, EstablishedConnection]:
+        """All currently established connections, keyed by name."""
+        return dict(self._established)
+
+    # ------------------------------------------------------------------
+    # Setup / teardown
+    # ------------------------------------------------------------------
+
+    def _advertised_bounds(self, route: Route, priority: int) -> List[Number]:
+        """The fixed bound of every hop on the route, in order."""
+        return [
+            self.switch(hop.switch).advertised_bound(hop.out_link, priority)
+            for hop in route.hops()
+        ]
+
+    def arrival_stream(self, request: ConnectionRequest,
+                       hop_index: int) -> BitStream:
+        """Step 1: the worst-case arrival stream at the given hop.
+
+        The source envelope of Algorithm 2.1, clumped by the CDV the
+        policy accumulates over the advertised bounds of the upstream
+        hops (Algorithm 3.1).  Hop 0 sees the undistorted envelope.
+        """
+        bounds = self._advertised_bounds(request.route, request.priority)
+        cdv = self.cdv_policy.accumulate(bounds[:hop_index])
+        return request.traffic.worst_case_stream().delayed(cdv)
+
+    def setup(self, request: ConnectionRequest,
+              trace: Optional[SignalingTrace] = None) -> EstablishedConnection:
+        """Establish a connection along its route, or raise.
+
+        Walks the route like the SETUP message does: the CAC check runs
+        at every hop with the properly clumped arrival stream; the first
+        refusal releases everything reserved so far and raises
+        :class:`SwitchRejection`.  A route whose advertised bounds sum
+        beyond the requested ``D`` raises :class:`QosUnsatisfiable`
+        without reserving anything.  On success the connection is
+        committed at every hop and recorded.
+        """
+        if request.name in self._established:
+            raise AdmissionError(
+                f"connection {request.name!r} is already established"
+            )
+        hops = request.route.hops()
+        bounds = self._advertised_bounds(request.route, request.priority)
+        achievable: Number = 0
+        for bound in bounds:
+            achievable += bound
+        if request.delay_bound is not None and achievable > request.delay_bound:
+            if trace is not None:
+                trace.record(RejectMessage(
+                    request.name, request.route.source,
+                    f"achievable bound {achievable} exceeds requested "
+                    f"{request.delay_bound}",
+                ))
+            raise QosUnsatisfiable(request.delay_bound, achievable)
+
+        committed: List[HopCommitment] = []
+        envelope = request.traffic.worst_case_stream()
+        try:
+            for index, hop in enumerate(hops):
+                cdv = self.cdv_policy.accumulate(bounds[:index])
+                stream = envelope.delayed(cdv)
+                if trace is not None:
+                    trace.record(SetupMessage(
+                        request.name, hop.switch,
+                        request.traffic.pcr, request.traffic.scr,
+                        request.traffic.mbs, request.delay_bound, cdv,
+                    ))
+                result = self.switch(hop.switch).admit(
+                    request.name, hop.in_link, hop.out_link,
+                    request.priority, stream,
+                )
+                committed.append(HopCommitment(
+                    switch=hop.switch,
+                    in_link=hop.in_link,
+                    out_link=hop.out_link,
+                    cdv_in=cdv,
+                    advertised_bound=bounds[index],
+                    computed_bound=result.computed_bounds[request.priority],
+                ))
+        except SwitchRejection as rejection:
+            for commitment in reversed(committed):
+                self.switch(commitment.switch).release(request.name)
+            if trace is not None:
+                trace.record(RejectMessage(
+                    request.name, rejection.switch, str(rejection),
+                ))
+            raise
+
+        established = EstablishedConnection(request, tuple(committed))
+        self._established[request.name] = established
+        if trace is not None:
+            trace.record(ConnectedMessage(
+                request.name, request.route.destination,
+                established.e2e_bound,
+            ))
+        return established
+
+    def would_admit(self, request: ConnectionRequest) -> bool:
+        """Non-mutating admission query.
+
+        Hop checks are mutually independent (every hop reconstructs the
+        arrival stream from the source contract), so the answer equals
+        what :meth:`setup` would decide -- without touching any state.
+        """
+        try:
+            bounds = self._advertised_bounds(request.route, request.priority)
+        except AdmissionError:
+            return False
+        achievable: Number = 0
+        for bound in bounds:
+            achievable += bound
+        if request.delay_bound is not None and achievable > request.delay_bound:
+            return False
+        envelope = request.traffic.worst_case_stream()
+        for index, hop in enumerate(request.route.hops()):
+            cdv = self.cdv_policy.accumulate(bounds[:index])
+            result = self.switch(hop.switch).check(
+                hop.in_link, hop.out_link, request.priority,
+                envelope.delayed(cdv),
+            )
+            if not result.admitted:
+                return False
+        return True
+
+    def teardown(self, name: str,
+                 trace: Optional[SignalingTrace] = None) -> None:
+        """Release an established connection at every hop."""
+        try:
+            established = self._established.pop(name)
+        except KeyError:
+            raise AdmissionError(f"no established connection {name!r}") from None
+        for commitment in established.hops:
+            self.switch(commitment.switch).release(name)
+            if trace is not None:
+                trace.record(ReleaseMessage(name, commitment.switch))
+
+    def setup_all(self, requests: Iterable[ConnectionRequest]) -> List[EstablishedConnection]:
+        """Establish several connections; unwind all of them on failure.
+
+        All-or-nothing semantics: the workload generators use this so a
+        partially admitted connection set never leaks into a sweep.
+        """
+        done: List[EstablishedConnection] = []
+        try:
+            for request in requests:
+                done.append(self.setup(request))
+        except AdmissionError:
+            for established in reversed(done):
+                self.teardown(established.name)
+            raise
+        return done
+
+    def teardown_all(self) -> None:
+        """Release every established connection."""
+        for name in list(self._established):
+            self.teardown(name)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def computed_e2e_bound(self, route: Route, priority: int) -> Number:
+        """Worst-case end-to-end bound along a route *as currently loaded*.
+
+        The sum over the route's hops of each port's computed bound for
+        the priority class -- what Figure 10 plots as a function of the
+        admitted load.  Advertised bounds cap each term, so this never
+        exceeds the fixed end-to-end guarantee.
+        """
+        total: Number = 0
+        for hop in route.hops():
+            total += self.switch(hop.switch).computed_bound(
+                hop.out_link, priority,
+            )
+        return total
+
+    def port_report(self) -> Dict[Tuple[str, str, int], Dict[str, Number]]:
+        """Per-(switch, link, priority) computed bound, buffer need, load."""
+        report: Dict[Tuple[str, str, int], Dict[str, Number]] = {}
+        for name, cac in self._switches.items():
+            for out_link in cac.out_links():
+                for priority in cac.priorities(out_link):
+                    report[(name, out_link, priority)] = {
+                        "computed_bound": cac.computed_bound(out_link, priority),
+                        "buffer_cells": cac.buffer_requirement(out_link, priority),
+                        "advertised": cac.advertised_bound(out_link, priority),
+                        "utilization": cac.utilization(out_link),
+                    }
+        return report

@@ -1,0 +1,474 @@
+"""Per-switch connection admission control (Section 4.3).
+
+A switch keeps, for every pair of incoming link ``i`` and outgoing link
+``j`` and every priority level ``p``, the aggregated worst-case arrival
+stream of the connections routed ``i -> j`` at priority ``p``
+(``Sia(i,j,p)`` in the paper).  From those it derives, on demand:
+
+* ``Sif(i,j,p)   = filter(Sia(i,j,p))`` -- the aggregate as smoothed by
+  the incoming link (a link of capacity 1 cannot deliver faster than 1);
+* ``Sia(i,j)(p)`` -- the aggregate over all priorities *higher* than
+  ``p`` for the pair, and its filtered form ``Sif(i,j)(p)``;
+* ``Soa(j,p)     = sum_i Sif(i,j,p)`` -- the output-port arrival stream;
+* ``Soa(j)(p)    = sum_i Sif(i,j)(p)`` and its filtered form
+  ``Sof(j)(p)`` -- the higher-priority interference at the output port.
+
+Admitting a connection with arrival stream ``S`` on ``(i, j, p)``
+follows Steps 1-6 of the paper: rebuild the affected aggregates with
+``S`` included, recompute the worst-case delay bound of priority ``p``
+*and of every lower real-time priority* at output ``j`` (higher
+priorities cannot be affected), and accept only if every recomputed
+bound stays within the bound the switch advertises for that priority.
+
+Priority convention: **smaller number = higher priority** (priority 0 is
+served first), matching the RTnet configuration where the cyclic-traffic
+queue is the single highest-priority queue.
+
+The switch advertises a *fixed* bound ``D(j, p)`` per output link and
+priority -- in RTnet the size of the priority-``p`` FIFO in cells --
+independent of current load (Section 4.1), which is what lets the
+distributed setup procedure accumulate CDV without iterating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..exceptions import AdmissionError, SwitchRejection
+from .bitstream import BitStream, Number, ZERO_STREAM, aggregate
+from .delay_bound import backlog_bound_with_higher, delay_bound
+
+__all__ = ["SwitchCAC", "Leg", "CheckResult", "PriorityBoundViolation"]
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One connection's traversal of one switch.
+
+    Attributes
+    ----------
+    connection_id:
+        Caller-chosen identifier, unique per switch.
+    in_link / out_link:
+        Names of the links the connection enters and leaves by.
+    priority:
+        Static priority level (0 = highest).
+    stream:
+        The connection's worst-case arrival stream *at this switch*
+        (i.e. the source envelope of Algorithm 2.1 already passed
+        through :meth:`BitStream.delayed` with the CDV accumulated over
+        upstream switches).
+    """
+
+    connection_id: str
+    in_link: str
+    out_link: str
+    priority: int
+    stream: BitStream
+
+
+@dataclass(frozen=True)
+class PriorityBoundViolation:
+    """One failed delay-bound check inside a :class:`CheckResult`."""
+
+    priority: int
+    computed_bound: Number
+    advertised_bound: Number
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a CAC check at one switch.
+
+    ``computed_bounds`` maps each checked priority at the output link to
+    the worst-case delay bound the port would have *with the new
+    connection admitted*; ``violations`` lists the priorities whose
+    bound would exceed the advertised guarantee.  The connection passes
+    iff ``violations`` is empty.
+    """
+
+    switch: str
+    out_link: str
+    computed_bounds: Mapping[int, Number]
+    violations: Tuple[PriorityBoundViolation, ...]
+
+    @property
+    def admitted(self) -> bool:
+        """True when every affected priority keeps its guarantee."""
+        return not self.violations
+
+
+class SwitchCAC:
+    """CAC bookkeeping and admission checks for a single switch.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in error messages and results.
+    filter_per_input:
+        When True (the default, and the paper's scheme) the per-input
+        aggregates are filtered by the incoming link before being summed
+        at the output port, which models the smoothing a real link
+        performs and tightens the bounds.  Setting it False reproduces
+        the coarser "no link filtering" analysis for the ablation bench.
+
+    Examples
+    --------
+    >>> from repro.core.traffic import cbr
+    >>> switch = SwitchCAC("sw0")
+    >>> switch.configure_link("out", {0: 32})
+    >>> stream = cbr(0.25).worst_case_stream()
+    >>> switch.admit("vc1", "in-a", "out", 0, stream).admitted
+    True
+    >>> switch.computed_bound("out", 0) <= 32
+    True
+    """
+
+    def __init__(self, name: str, filter_per_input: bool = True):
+        self.name = name
+        self.filter_per_input = filter_per_input
+        #: advertised fixed bounds: out_link -> {priority -> D(j, p)}
+        self._advertised: Dict[str, Dict[int, Number]] = {}
+        #: admitted legs by connection id
+        self._legs: Dict[str, Leg] = {}
+        #: Sia(i, j, p) aggregates, maintained incrementally
+        self._sia: Dict[Tuple[str, str, int], BitStream] = {}
+        #: memoized filtered streams, invalidated on any state change
+        self._filter_cache: Dict[Tuple[str, str, int, str], BitStream] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def configure_link(self, out_link: str,
+                       bounds: Mapping[int, Number]) -> None:
+        """Declare an output link and its advertised per-priority bounds.
+
+        ``bounds`` maps each real-time priority level served on the link
+        to the fixed queueing delay bound (in cell times) the switch
+        guarantees -- in RTnet, the FIFO queue size in cells.
+        """
+        if not bounds:
+            raise ValueError("an output link needs at least one priority")
+        for priority, bound in bounds.items():
+            if bound <= 0:
+                raise ValueError(
+                    f"advertised bound must be positive, got {bound} for "
+                    f"priority {priority}"
+                )
+        self._advertised[out_link] = dict(bounds)
+
+    def advertised_bound(self, out_link: str, priority: int) -> Number:
+        """The fixed bound ``D(j, p)`` the switch guarantees."""
+        try:
+            return self._advertised[out_link][priority]
+        except KeyError:
+            raise AdmissionError(
+                f"switch {self.name!r} does not serve priority {priority} "
+                f"on link {out_link!r}"
+            ) from None
+
+    def out_links(self) -> Iterable[str]:
+        """Names of the configured output links."""
+        return self._advertised.keys()
+
+    def priorities(self, out_link: str) -> List[int]:
+        """Real-time priorities served on ``out_link``, highest first."""
+        return sorted(self._advertised[out_link])
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+
+    @property
+    def legs(self) -> Mapping[str, Leg]:
+        """The currently admitted legs, keyed by connection id."""
+        return dict(self._legs)
+
+    def sia(self, in_link: str, out_link: str, priority: int) -> BitStream:
+        """``Sia(i, j, p)``: the per-pair per-priority aggregate."""
+        return self._sia.get((in_link, out_link, priority), ZERO_STREAM)
+
+    def _in_links(self, out_link: str) -> List[str]:
+        """Incoming links currently feeding ``out_link``."""
+        return sorted({
+            in_link for (in_link, out, _), stream in self._sia.items()
+            if out == out_link and not stream.is_zero
+        })
+
+    def _filtered(self, in_link: str, out_link: str, priority: int,
+                  kind: str, stream: BitStream) -> BitStream:
+        """Memoized filter of a derived stream (cleared on state change)."""
+        key = (in_link, out_link, priority, kind)
+        cached = self._filter_cache.get(key)
+        if cached is None:
+            cached = stream.filtered() if self.filter_per_input else stream
+            self._filter_cache[key] = cached
+        return cached
+
+    def _sif(self, in_link: str, out_link: str, priority: int) -> BitStream:
+        """``Sif(i, j, p)``: the per-input aggregate after link filtering."""
+        return self._filtered(
+            in_link, out_link, priority, "same",
+            self.sia(in_link, out_link, priority),
+        )
+
+    def _higher_sia(self, in_link: str, out_link: str,
+                    priority: int) -> BitStream:
+        """``Sia(i, j)(p)``: aggregate of priorities higher than ``p``."""
+        parts = [
+            stream for (i, j, q), stream in self._sia.items()
+            if i == in_link and j == out_link and q < priority
+        ]
+        return aggregate(parts)
+
+    def _sif_higher(self, in_link: str, out_link: str,
+                    priority: int) -> BitStream:
+        """``Sif(i, j)(p)``: the filtered higher-priority aggregate."""
+        return self._filtered(
+            in_link, out_link, priority, "higher",
+            self._higher_sia(in_link, out_link, priority),
+        )
+
+    def soa(self, out_link: str, priority: int,
+            replace: Optional[Tuple[str, BitStream]] = None) -> BitStream:
+        """``Soa(j, p)``: output-port arrival stream of priority ``p``.
+
+        ``replace`` optionally substitutes the (already filtered)
+        per-input aggregate of one incoming link -- how the admission
+        check builds ``S'oa`` without mutating state.
+        """
+        in_links = set(self._in_links(out_link))
+        if replace is not None:
+            in_links.add(replace[0])
+        parts = []
+        for in_link in sorted(in_links):
+            if replace is not None and in_link == replace[0]:
+                parts.append(replace[1])
+            else:
+                parts.append(self._sif(in_link, out_link, priority))
+        return aggregate(parts)
+
+    def sof_higher(self, out_link: str, priority: int,
+                   extra: Optional[Tuple[str, BitStream]] = None) -> BitStream:
+        """``Sof(j)(p)``: filtered higher-priority output interference.
+
+        ``extra`` optionally adds a candidate connection's stream to the
+        higher-priority aggregate of one incoming link (used when
+        checking the impact of a new higher-priority connection on an
+        existing lower priority).
+        """
+        in_links = set(self._in_links(out_link))
+        if extra is not None:
+            in_links.add(extra[0])
+        parts = []
+        for in_link in sorted(in_links):
+            if extra is not None and in_link == extra[0]:
+                combined = self._higher_sia(in_link, out_link, priority) + extra[1]
+                parts.append(
+                    combined.filtered() if self.filter_per_input else combined
+                )
+            else:
+                parts.append(self._sif_higher(in_link, out_link, priority))
+        return aggregate(parts).filtered()
+
+    # ------------------------------------------------------------------
+    # Admission (Steps 1-6)
+    # ------------------------------------------------------------------
+
+    def check(self, in_link: str, out_link: str, priority: int,
+              stream: BitStream) -> CheckResult:
+        """Steps 2-6: would admitting this connection keep all bounds?
+
+        Does not mutate state.  The caller provides the connection's
+        worst-case arrival stream at this switch (Step 1 -- the source
+        envelope delayed by the upstream CDV -- belongs to the caller
+        because only the route knows the accumulated CDV).
+        """
+        if out_link not in self._advertised:
+            raise AdmissionError(
+                f"switch {self.name!r} has no output link {out_link!r}"
+            )
+        advertised = self._advertised[out_link]
+        if priority not in advertised:
+            raise AdmissionError(
+                f"switch {self.name!r} does not serve priority {priority} "
+                f"on link {out_link!r}"
+            )
+
+        computed: Dict[int, Number] = {}
+        violations: List[PriorityBoundViolation] = []
+
+        # Feasibility of the incoming link itself.  Filtering caps a
+        # per-input aggregate at the link rate, which would otherwise
+        # silently mask a physically impossible load (total sustained
+        # rate beyond what the incoming link can ever deliver) as a
+        # zero-delay stream.
+        if self.in_link_utilization(in_link) + stream.long_run_rate > 1:
+            violations.append(PriorityBoundViolation(
+                priority, math.inf,
+                self._advertised[out_link][priority],
+            ))
+            computed[priority] = math.inf
+            return CheckResult(
+                switch=self.name,
+                out_link=out_link,
+                computed_bounds=computed,
+                violations=tuple(violations),
+            )
+
+        # Step 2-4: the new connection's own priority.
+        new_sia = self.sia(in_link, out_link, priority) + stream
+        new_sif = new_sia.filtered() if self.filter_per_input else new_sia
+        new_soa = self.soa(out_link, priority, replace=(in_link, new_sif))
+        interference = self.sof_higher(out_link, priority)
+        bound = delay_bound(new_soa, interference)
+        computed[priority] = bound
+        if bound > advertised[priority]:
+            violations.append(PriorityBoundViolation(
+                priority, bound, advertised[priority],
+            ))
+
+        # Steps 5-6: every lower real-time priority on the same port.
+        for lower in sorted(advertised):
+            if lower <= priority:
+                continue
+            soa_lower = self.soa(out_link, lower)
+            if soa_lower.is_zero:
+                continue  # no traffic to disturb
+            interference = self.sof_higher(
+                out_link, lower, extra=(in_link, stream),
+            )
+            bound = delay_bound(soa_lower, interference)
+            computed[lower] = bound
+            if bound > advertised[lower]:
+                violations.append(PriorityBoundViolation(
+                    lower, bound, advertised[lower],
+                ))
+
+        return CheckResult(
+            switch=self.name,
+            out_link=out_link,
+            computed_bounds=computed,
+            violations=tuple(violations),
+        )
+
+    def admit(self, connection_id: str, in_link: str, out_link: str,
+              priority: int, stream: BitStream) -> CheckResult:
+        """Check and, if every bound holds, commit the connection.
+
+        Raises :class:`SwitchRejection` (leaving state untouched) when a
+        bound would be violated, and :class:`AdmissionError` when the
+        connection id is already present.
+        """
+        if connection_id in self._legs:
+            raise AdmissionError(
+                f"connection {connection_id!r} already admitted at switch "
+                f"{self.name!r}"
+            )
+        result = self.check(in_link, out_link, priority, stream)
+        if not result.admitted:
+            worst = result.violations[0]
+            raise SwitchRejection(
+                self.name, out_link, worst.priority,
+                worst.computed_bound, worst.advertised_bound,
+            )
+        self._legs[connection_id] = Leg(
+            connection_id, in_link, out_link, priority, stream,
+        )
+        key = (in_link, out_link, priority)
+        self._sia[key] = self.sia(in_link, out_link, priority) + stream
+        self._filter_cache.clear()
+        return result
+
+    def release(self, connection_id: str) -> Leg:
+        """Tear down a connection, restoring the aggregates (Alg. 3.3)."""
+        try:
+            leg = self._legs.pop(connection_id)
+        except KeyError:
+            raise AdmissionError(
+                f"connection {connection_id!r} is not admitted at switch "
+                f"{self.name!r}"
+            ) from None
+        key = (leg.in_link, leg.out_link, leg.priority)
+        remaining = self._sia[key] - leg.stream
+        if remaining.is_zero:
+            del self._sia[key]
+        else:
+            self._sia[key] = remaining
+        self._filter_cache.clear()
+        return leg
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def computed_bound(self, out_link: str, priority: int) -> Number:
+        """Worst-case delay bound of the *currently admitted* traffic."""
+        soa = self.soa(out_link, priority)
+        if soa.is_zero:
+            return 0
+        return delay_bound(soa, self.sof_higher(out_link, priority))
+
+    def buffer_requirement(self, out_link: str, priority: int) -> Number:
+        """Worst-case FIFO occupancy (cells) of the admitted traffic.
+
+        What Section 5 uses to size ring-node buffers: if this value
+        stays at or below the configured queue length, worst-case
+        traffic is never dropped.
+        """
+        soa = self.soa(out_link, priority)
+        if soa.is_zero:
+            return 0
+        return backlog_bound_with_higher(
+            soa, self.sof_higher(out_link, priority),
+        )
+
+    def in_link_utilization(self, in_link: str) -> Number:
+        """Long-run admitted rate entering via one incoming link."""
+        total: Number = 0
+        for (i, _out, _priority), stream in self._sia.items():
+            if i == in_link:
+                total += stream.long_run_rate
+        return total
+
+    def utilization(self, out_link: str) -> Number:
+        """Long-run admitted rate on an output link (1.0 == saturated)."""
+        total: Number = 0
+        for (in_link, out, priority), stream in self._sia.items():
+            if out == out_link:
+                total += stream.long_run_rate
+        return total
+
+    def recompute_aggregates(self) -> Dict[Tuple[str, str, int], BitStream]:
+        """Rebuild every ``Sia`` from the per-leg streams.
+
+        The incremental bookkeeping of :meth:`admit`/:meth:`release`
+        must always agree with this ground truth; the test suite checks
+        it after long admit/release sequences to catch drift.
+        """
+        fresh: Dict[Tuple[str, str, int], BitStream] = {}
+        for leg in self._legs.values():
+            key = (leg.in_link, leg.out_link, leg.priority)
+            base = fresh.get(key, ZERO_STREAM)
+            fresh[key] = base + leg.stream
+        return fresh
+
+    def verify_consistency(self, tolerance: float = 1e-9) -> bool:
+        """True when incremental aggregates match a from-scratch rebuild."""
+        fresh = self.recompute_aggregates()
+        keys = set(fresh) | set(self._sia)
+        for key in keys:
+            current = self._sia.get(key, ZERO_STREAM)
+            expected = fresh.get(key, ZERO_STREAM)
+            if not current.approx_equal(expected, tolerance):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchCAC(name={self.name!r}, legs={len(self._legs)}, "
+            f"links={sorted(self._advertised)})"
+        )

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with one ``except`` clause while still telling the
+sub-cases apart.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TrafficModelError(ReproError, ValueError):
+    """Invalid traffic descriptor (e.g. SCR > PCR, MBS < 1)."""
+
+
+class BitStreamError(ReproError, ValueError):
+    """A bit stream violates the model invariants (Section 2).
+
+    Raised when constructing a stream whose times are not strictly
+    increasing, whose first time is not zero, whose rates are negative,
+    or whose rate function is not monotonically non-increasing.
+    """
+
+
+class UnstableSystemError(ReproError, ArithmeticError):
+    """The long-run arrival rate meets or exceeds the service capacity.
+
+    Under these conditions queue backlog grows without bound and the
+    worst-case delay is infinite.  Most analysis entry points return
+    ``math.inf`` instead of raising; this exception is used where an
+    infinite answer cannot be represented (e.g. when a finite drained
+    stream must be constructed).
+    """
+
+
+class AdmissionError(ReproError):
+    """Base class for connection admission failures."""
+
+
+class SwitchRejection(AdmissionError):
+    """A switch on the route rejected the connection (CAC check failed).
+
+    Attributes
+    ----------
+    switch:
+        Name of the rejecting switch.
+    out_link:
+        The outgoing link whose delay-bound check failed.
+    priority:
+        The priority level whose bound would have been violated.
+    computed_bound:
+        The worst-case delay bound that adding the connection would cause.
+    advertised_bound:
+        The fixed bound the switch guarantees for that priority.
+    """
+
+    def __init__(self, switch: str, out_link: str, priority: int,
+                 computed_bound: float, advertised_bound: float):
+        self.switch = switch
+        self.out_link = out_link
+        self.priority = priority
+        self.computed_bound = computed_bound
+        self.advertised_bound = advertised_bound
+        super().__init__(
+            f"switch {switch!r} rejected connection: priority {priority} on "
+            f"link {out_link!r} would have worst-case delay "
+            f"{computed_bound} > advertised bound {advertised_bound}"
+        )
+
+
+class QosUnsatisfiable(AdmissionError):
+    """The route's accumulated advertised bound exceeds the requested QoS."""
+
+    def __init__(self, requested: float, achievable: float):
+        self.requested = requested
+        self.achievable = achievable
+        super().__init__(
+            f"requested end-to-end delay bound {requested} cell times is "
+            f"smaller than the route's achievable bound {achievable}"
+        )
+
+
+class RoutingError(ReproError, ValueError):
+    """No route exists, or an explicit route is not connected."""
+
+
+class TopologyError(ReproError, ValueError):
+    """Malformed network description (unknown node, duplicate link, ...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Internal inconsistency detected by the cell-level simulator."""

@@ -1,0 +1,57 @@
+"""Network substrate: topology, routing, connections, signalling."""
+
+from .connection import ConnectionRequest, EstablishedConnection, HopCommitment
+from .routing import Hop, Route, ring_walk, shortest_path
+from .serialization import (
+    network_from_dict,
+    network_to_dict,
+    request_from_dict,
+    request_to_dict,
+    traffic_from_dict,
+    traffic_to_dict,
+)
+from .signaling import (
+    ConnectedMessage,
+    RejectMessage,
+    ReleaseMessage,
+    SetupMessage,
+    SignalingTrace,
+)
+from .visualize import describe_network, describe_route
+from .topology import (
+    Link,
+    Network,
+    Node,
+    line_network,
+    ring_network,
+    star_network,
+)
+
+__all__ = [
+    "Network",
+    "Node",
+    "Link",
+    "line_network",
+    "ring_network",
+    "star_network",
+    "Route",
+    "Hop",
+    "shortest_path",
+    "ring_walk",
+    "ConnectionRequest",
+    "EstablishedConnection",
+    "HopCommitment",
+    "SignalingTrace",
+    "SetupMessage",
+    "RejectMessage",
+    "ConnectedMessage",
+    "ReleaseMessage",
+    "network_to_dict",
+    "network_from_dict",
+    "request_to_dict",
+    "request_from_dict",
+    "traffic_to_dict",
+    "traffic_from_dict",
+    "describe_network",
+    "describe_route",
+]

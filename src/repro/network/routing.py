@@ -1,0 +1,194 @@
+"""Routes over a :class:`~repro.network.topology.Network`.
+
+A route is the ordered list of links a connection's cells traverse from
+the source end system to the destination.  The CAC only performs its
+check at *queueing points* -- output ports of switches -- so a route
+distinguishes the source-controlled access link (no queueing: the source
+itself spaces cells per its traffic contract) from the switch hops.
+
+The paper assumes a *preselected* route carried by the SETUP message
+(Section 4.1); this module provides explicit route construction plus the
+two selection helpers the examples and the RTnet model need: BFS
+shortest path and ring walks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import RoutingError
+from .topology import Link, Network
+
+__all__ = ["Hop", "Route", "shortest_path", "ring_walk"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One queueing point on a route.
+
+    Attributes
+    ----------
+    switch:
+        The switching node whose output port queues the cells.
+    in_link:
+        The link the cells arrive by.
+    out_link:
+        The link the cells leave by (the queueing point is this link's
+        output port).
+    """
+
+    switch: str
+    in_link: str
+    out_link: str
+
+
+class Route:
+    """An ordered, validated path of links from a source to a destination.
+
+    Parameters
+    ----------
+    network:
+        The topology the route lives in.
+    link_names:
+        The links in traversal order.  Consecutive links must share the
+        intermediate node, the first link must leave the source end
+        system, and every intermediate node must be a switch.
+    """
+
+    def __init__(self, network: Network, link_names: Sequence[str]):
+        if not link_names:
+            raise RoutingError("a route needs at least one link")
+        self._network = network
+        self._links: List[Link] = [network.link(name) for name in link_names]
+        for earlier, later in zip(self._links, self._links[1:]):
+            if earlier.dst != later.src:
+                raise RoutingError(
+                    f"links {earlier.name!r} and {later.name!r} do not "
+                    f"connect: {earlier.dst!r} != {later.src!r}"
+                )
+            if not network.node(earlier.dst).is_switch:
+                raise RoutingError(
+                    f"intermediate node {earlier.dst!r} is not a switch"
+                )
+
+    @property
+    def source(self) -> str:
+        """The node the route starts at."""
+        return self._links[0].src
+
+    @property
+    def destination(self) -> str:
+        """The node the route ends at."""
+        return self._links[-1].dst
+
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        """All links in traversal order."""
+        return tuple(self._links)
+
+    @property
+    def link_names(self) -> Tuple[str, ...]:
+        """Names of all links in traversal order."""
+        return tuple(link.name for link in self._links)
+
+    def hops(self) -> List[Hop]:
+        """The queueing points: one per switch output port traversed.
+
+        The access link out of a terminal source is rate-controlled at
+        the source and contributes no queueing, so it appears only as
+        the ``in_link`` of the first hop.  A route that starts directly
+        at a switch treats a synthetic ``"@source"`` port as its first
+        incoming link.
+        """
+        result: List[Hop] = []
+        if self._network.node(self.source).is_switch:
+            # The first link is itself a switch output port.
+            result.append(Hop(self.source, "@source", self._links[0].name))
+        for earlier, later in zip(self._links, self._links[1:]):
+            result.append(Hop(earlier.dst, earlier.name, later.name))
+        return result
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __iter__(self) -> Iterator[Link]:
+        return iter(self._links)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Route):
+            return NotImplemented
+        return self.link_names == other.link_names
+
+    def __hash__(self) -> int:
+        return hash(self.link_names)
+
+    def __repr__(self) -> str:
+        path = " -> ".join([self.source] + [link.dst for link in self._links])
+        return f"Route({path})"
+
+
+def shortest_path(network: Network, src: str, dst: str) -> Route:
+    """BFS shortest path (fewest links) from ``src`` to ``dst``.
+
+    Terminals cannot forward: paths never traverse *through* an end
+    system, though they may start or end at one.
+    """
+    network.node(src)
+    network.node(dst)
+    if src == dst:
+        raise RoutingError(f"source and destination are both {src!r}")
+    parent: Dict[str, Link] = {}
+    seen = {src}
+    frontier = deque([src])
+    while frontier:
+        here = frontier.popleft()
+        for link in network.out_links(here):
+            nxt = link.dst
+            if nxt in seen:
+                continue
+            parent[nxt] = link
+            if nxt == dst:
+                chain: List[str] = []
+                node = dst
+                while node != src:
+                    chain.append(parent[node].name)
+                    node = parent[node].src
+                return Route(network, list(reversed(chain)))
+            if network.node(nxt).is_switch:
+                seen.add(nxt)
+                frontier.append(nxt)
+            else:
+                seen.add(nxt)  # terminal: reachable but not traversable
+    raise RoutingError(f"no route from {src!r} to {dst!r}")
+
+
+def ring_walk(network: Network, start_switch: str, hops: int,
+              access_from: Optional[str] = None) -> Route:
+    """A route walking ``hops`` steps around a unidirectional ring.
+
+    Follows, at every switch, its single outgoing switch-to-switch link
+    (the ring link).  When ``access_from`` names a terminal, its access
+    link is prepended -- the usual shape of an RTnet broadcast that
+    starts at a terminal and circles the ring.
+    """
+    if hops < 1:
+        raise RoutingError(f"need at least one hop, got {hops}")
+    names: List[str] = []
+    if access_from is not None:
+        names.append(network.find_link(access_from, start_switch).name)
+    here = start_switch
+    for _ in range(hops):
+        ring_links = [
+            link for link in network.out_links(here)
+            if network.node(link.dst).is_switch
+        ]
+        if len(ring_links) != 1:
+            raise RoutingError(
+                f"node {here!r} has {len(ring_links)} switch-to-switch "
+                f"links; a ring walk needs exactly one"
+            )
+        names.append(ring_links[0].name)
+        here = ring_links[0].dst
+    return Route(network, names)

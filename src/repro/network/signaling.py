@@ -1,0 +1,95 @@
+"""The distributed connection setup sequence (Section 4.1).
+
+A source end system sends a SETUP message carrying its traffic and QoS
+parameters ``(PCR, SCR, MBS, D)`` along the preselected route.  Every
+switch runs the CAC check; on success it forwards the SETUP downstream,
+on failure it sends a REJECT back upstream (releasing any resources the
+message already reserved).  When the SETUP reaches the destination, a
+CONNECTED message travels back and the source may start sending.
+
+:class:`repro.core.admission.NetworkCAC` drives this sequence; the
+message classes here exist so the walk can be *observed* -- examples and
+tests inspect the trace to show the protocol behaving as described.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..core.bitstream import Number
+
+__all__ = [
+    "SetupMessage",
+    "RejectMessage",
+    "ConnectedMessage",
+    "ReleaseMessage",
+    "SignalingTrace",
+]
+
+
+@dataclass(frozen=True)
+class SetupMessage:
+    """SETUP processed (and forwarded) at one node.
+
+    ``cdv_in`` is the accumulated delay variation the node's CAC check
+    assumed -- it grows hop by hop per the CDV policy in force.
+    """
+
+    connection: str
+    at_node: str
+    pcr: Number
+    scr: Number
+    mbs: Number
+    delay_bound: Optional[Number]
+    cdv_in: Number
+
+
+@dataclass(frozen=True)
+class RejectMessage:
+    """REJECT travelling upstream from the refusing node."""
+
+    connection: str
+    at_node: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class ConnectedMessage:
+    """CONNECTED travelling back to the source after full admission."""
+
+    connection: str
+    at_node: str
+    e2e_bound: Number
+
+
+@dataclass(frozen=True)
+class ReleaseMessage:
+    """Teardown of an established connection at one node."""
+
+    connection: str
+    at_node: str
+
+
+Message = Union[SetupMessage, RejectMessage, ConnectedMessage, ReleaseMessage]
+
+
+@dataclass
+class SignalingTrace:
+    """An ordered record of the signalling messages a setup produced."""
+
+    messages: List[Message] = field(default_factory=list)
+
+    def record(self, message: Message) -> None:
+        """Append one message to the trace."""
+        self.messages.append(message)
+
+    def of_type(self, message_type: type) -> List[Message]:
+        """All recorded messages of one class, in order."""
+        return [m for m in self.messages if isinstance(m, message_type)]
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self):
+        return iter(self.messages)

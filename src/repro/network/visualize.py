@@ -1,0 +1,88 @@
+"""ASCII rendering of topologies and admission state.
+
+Terminal-friendly summaries used by examples and debugging sessions:
+an adjacency listing with advertised bounds, and an annotated view of a
+route with its queueing points.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .routing import Route
+from .topology import Network
+
+if TYPE_CHECKING:  # imported for annotations only (avoids a cycle)
+    from ..core.admission import NetworkCAC
+
+__all__ = ["describe_network", "describe_route"]
+
+
+def describe_network(network: Network,
+                     cac: Optional["NetworkCAC"] = None) -> str:
+    """An adjacency listing, one line per link.
+
+    With a :class:`NetworkCAC` attached, each switch output port also
+    shows its advertised bounds, current computed bound and long-run
+    utilization.
+    """
+    lines = []
+    switches = sorted(node.name for node in network.switches())
+    terminals = sorted(node.name for node in network.terminals())
+    lines.append(
+        f"network: {len(switches)} switches, {len(terminals)} terminals"
+    )
+    for name in switches:
+        lines.append(f"  switch {name}")
+        for link in sorted(network.out_links(name), key=lambda l: l.name):
+            kind = "switch" if network.node(link.dst).is_switch else "terminal"
+            annotation = ""
+            if link.bounds:
+                bounds = ", ".join(
+                    f"p{priority}<={bound}"
+                    for priority, bound in sorted(link.bounds.items()))
+                annotation = f"  [{bounds}]"
+                if cac is not None:
+                    port = cac.switch(name)
+                    parts = []
+                    for priority in sorted(link.bounds):
+                        computed = float(port.computed_bound(
+                            link.name, priority))
+                        parts.append(f"p{priority}={computed:.1f}")
+                    load = float(port.utilization(link.name))
+                    annotation += f"  now: {', '.join(parts)}  load={load:.0%}"
+            lines.append(
+                f"    -> {link.dst} ({kind}) via {link.name}{annotation}")
+    if terminals:
+        lines.append(f"  terminals: {', '.join(terminals)}")
+    return "\n".join(lines)
+
+
+def describe_route(route: Route,
+                   cac: Optional["NetworkCAC"] = None,
+                   priority: int = 0) -> str:
+    """A route as a hop-by-hop listing of its queueing points.
+
+    With a CAC attached, each hop shows advertised vs computed bounds
+    and the running end-to-end totals.
+    """
+    lines = [f"route {route.source} -> {route.destination} "
+             f"({len(route)} links, {len(route.hops())} queueing points)"]
+    advertised_total = 0.0
+    computed_total = 0.0
+    for index, hop in enumerate(route.hops()):
+        line = f"  hop {index}: {hop.switch}  {hop.in_link} => {hop.out_link}"
+        if cac is not None:
+            switch = cac.switch(hop.switch)
+            advertised = float(switch.advertised_bound(
+                hop.out_link, priority))
+            computed = float(switch.computed_bound(hop.out_link, priority))
+            advertised_total += advertised
+            computed_total += computed
+            line += f"  bound {computed:.1f}/{advertised:.0f}"
+        lines.append(line)
+    if cac is not None:
+        lines.append(
+            f"  end-to-end: computed {computed_total:.1f}, "
+            f"guaranteed {advertised_total:.0f} cell times")
+    return "\n".join(lines)

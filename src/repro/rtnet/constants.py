@@ -1,0 +1,35 @@
+"""RTnet platform constants (Section 5).
+
+RTnet is an ATM-based plant-control LAN: a star-ring of up to 16 ring
+nodes connected by dual 155 Mbps links, each ring node hosting up to 16
+terminals.  Every ring node gives cyclic (hard real-time) traffic a
+highest-priority FIFO queue of 32 cells, so each node advertises a
+32-cell-time queueing delay bound -- about 87 microseconds -- and
+contributes at most that much delay variation to connections through it.
+"""
+
+from __future__ import annotations
+
+from ..units import RTNET_LINK
+
+#: Ring nodes in the reference configuration.
+RING_NODES = 16
+
+#: Maximum terminals attachable to one ring node.
+MAX_TERMINALS_PER_NODE = 16
+
+#: Highest-priority FIFO queue size for cyclic traffic, in cells.
+CYCLIC_QUEUE_CELLS = 32
+
+#: Per-node delay bound in cell times (equals the queue size).
+NODE_DELAY_BOUND = CYCLIC_QUEUE_CELLS
+
+#: Per-node worst-case delay contribution in microseconds (paper: 87).
+NODE_DELAY_MICROSECONDS = CYCLIC_QUEUE_CELLS * RTNET_LINK.cell_time_seconds * 1e6
+
+#: The 1 ms end-to-end requirement of high-speed cyclic traffic,
+#: in cell times (paper: "370 cell times (1 ms)").
+HIGH_SPEED_DELAY_CELLS = RTNET_LINK.ms_to_cell_times(1.0)
+
+#: Priority level used for cyclic traffic (highest).
+CYCLIC_PRIORITY = 0

@@ -1,0 +1,106 @@
+"""Cyclic-transmission traffic classes (Table 1).
+
+RTnet's cyclic transmission implements a distributed shared memory:
+every terminal periodically broadcasts its portion of the shared memory
+and receives the other portions.  Three service classes exist; each is
+fully specified by its update period, its maximum allowable update
+delay, and the maximum shared-memory image size -- the bandwidth column
+of Table 1 follows from those by cell arithmetic, which
+:func:`required_bandwidth_mbps` reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..units import RTNET_LINK, LinkRate, bandwidth_for_cyclic
+
+__all__ = [
+    "CyclicClass",
+    "HIGH_SPEED",
+    "MEDIUM_SPEED",
+    "LOW_SPEED",
+    "TABLE_1",
+    "required_bandwidth_mbps",
+]
+
+
+@dataclass(frozen=True)
+class CyclicClass:
+    """One row of Table 1.
+
+    Attributes
+    ----------
+    name:
+        Class label ("high speed", ...).
+    period_ms:
+        Shared-memory update period.
+    delay_ms:
+        Maximum allowable update delay (the hard deadline).
+    memory_kb:
+        Maximum shared-memory image size in KB (1 KB = 1024 bytes).
+    paper_bandwidth_mbps:
+        The bandwidth figure the paper prints, kept for comparison.
+    """
+
+    name: str
+    period_ms: float
+    delay_ms: float
+    memory_kb: int
+    paper_bandwidth_mbps: float
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.memory_kb * 1024
+
+    @property
+    def period_seconds(self) -> float:
+        return self.period_ms * 1e-3
+
+    def required_bandwidth_bps(self) -> float:
+        """Line bandwidth needed to ship the image every period.
+
+        Includes the 53/48 cell header overhead -- what admission
+        control must actually reserve on the wire.
+        """
+        return bandwidth_for_cyclic(self.memory_bytes, self.period_seconds)
+
+    def payload_bandwidth_bps(self) -> float:
+        """Application-payload bandwidth (no cell overhead).
+
+        This is the convention of Table 1's bandwidth column (e.g.
+        4 KB / 1 ms = 32.8 -> "32 Mbps").
+        """
+        return self.memory_bytes * 8 / self.period_seconds
+
+    def normalized_rate(self, link: LinkRate = RTNET_LINK) -> float:
+        """The class's aggregate PCR normalized to the RTnet link."""
+        return link.normalized_rate(self.required_bandwidth_bps())
+
+    def delay_cell_times(self, link: LinkRate = RTNET_LINK) -> float:
+        """The deadline expressed in cell times."""
+        return link.ms_to_cell_times(self.delay_ms)
+
+
+HIGH_SPEED = CyclicClass("high speed", period_ms=1.0, delay_ms=1.0,
+                         memory_kb=4, paper_bandwidth_mbps=32.0)
+MEDIUM_SPEED = CyclicClass("medium speed", period_ms=30.0, delay_ms=30.0,
+                           memory_kb=64, paper_bandwidth_mbps=17.5)
+LOW_SPEED = CyclicClass("low speed", period_ms=150.0, delay_ms=150.0,
+                        memory_kb=128, paper_bandwidth_mbps=6.8)
+
+#: Table 1, keyed by class name.
+TABLE_1: Dict[str, CyclicClass] = {
+    cls.name: cls for cls in (HIGH_SPEED, MEDIUM_SPEED, LOW_SPEED)
+}
+
+
+def required_bandwidth_mbps(cls: CyclicClass) -> float:
+    """The Table 1 bandwidth column, recomputed from period and size.
+
+    Table 1 reports payload bandwidth; use
+    :meth:`CyclicClass.required_bandwidth_bps` for the on-the-wire rate
+    with cell overhead.
+    """
+    return cls.payload_bandwidth_bps() / 1e6

@@ -1,0 +1,53 @@
+"""Cell-level discrete-event simulator.
+
+Used to *validate* the analytical worst-case bounds: GCRA-shaped sources
+feed static-priority FIFO switches and the observed queueing delays are
+compared against the Algorithm 4.1 bounds (they must never exceed them),
+and to *demonstrate* the Section 1 motivation (peak bandwidth allocation
+fails under jitter clumping).
+"""
+
+from .cell import Cell
+from .edf import EdfPort
+from .engine import Engine, EventHandle
+from .gcra import DualLeakyBucket, bucket_depth
+from .jitter import ClumpingJitter, FixedJitter
+from .metrics import ConnectionStats, Metrics
+from .network import SimNetwork
+from .queues import PriorityFifo
+from .sources import (
+    CbrSource,
+    EnvelopeSource,
+    GreedyVbrSource,
+    RandomVbrSource,
+    ScheduleSource,
+    envelope_cell_times,
+)
+from .switch import OutputPort, SimSwitch
+from .trace import CellJourney, CellTracer, JourneyEvent
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "Cell",
+    "DualLeakyBucket",
+    "bucket_depth",
+    "PriorityFifo",
+    "OutputPort",
+    "EdfPort",
+    "SimSwitch",
+    "SimNetwork",
+    "Metrics",
+    "ConnectionStats",
+    "ClumpingJitter",
+    "FixedJitter",
+    "ScheduleSource",
+    "CbrSource",
+    "GreedyVbrSource",
+    "RandomVbrSource",
+    "EnvelopeSource",
+    "envelope_cell_times",
+    "CellTracer",
+    "CellJourney",
+    "JourneyEvent",
+]

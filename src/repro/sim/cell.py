@@ -1,0 +1,48 @@
+"""The ATM cell record carried through the simulator.
+
+Only what the measurements need: identity (connection + sequence number),
+the emission time at the source, and the accumulated queueing wait.  The
+53-byte payload itself is irrelevant to delay analysis and not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["Cell"]
+
+
+@dataclass
+class Cell:
+    """One cell in flight.
+
+    Attributes
+    ----------
+    connection:
+        Name of the VC the cell belongs to.
+    sequence:
+        Per-connection emission counter, starting at 0.
+    emitted_at:
+        Source emission time (cell times).
+    hop_waits:
+        Queueing wait measured at each switch output port traversed, in
+        traversal order.  The end-to-end queueing delay -- the quantity
+        the paper's ``D`` bounds -- is their sum.
+    """
+
+    connection: str
+    sequence: int
+    emitted_at: float
+    hop_waits: List[float] = field(default_factory=list)
+
+    @property
+    def total_queueing_delay(self) -> float:
+        """Sum of per-hop queueing waits accumulated so far."""
+        return sum(self.hop_waits)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cell({self.connection}#{self.sequence} "
+            f"emitted={self.emitted_at:.2f} waits={self.hop_waits})"
+        )

@@ -1,0 +1,116 @@
+"""Earliest-deadline-first output port (the road not taken).
+
+The paper's premise is that deadline scheduling and per-VC queueing --
+the mechanisms most prior hard real-time work assumes [3-8] -- "have
+not been implemented in most of the existing ATM switches", so its CAC
+targets plain static-priority FIFO hardware.  This module implements
+the EDF port anyway, as the comparison point: the scheduling-comparison
+bench measures what the sophisticated scheduler would buy over the
+paper's static priorities on the same traffic.
+
+An :class:`EdfPort` is drop-in compatible with
+:class:`~repro.sim.switch.OutputPort` (same ``receive`` interface, so a
+:class:`~repro.sim.switch.SimSwitch` can host one via
+:meth:`~repro.sim.switch.SimSwitch.add_custom_port`), but instead of
+priority FIFO banks it keeps a single deadline-ordered heap: each cell's
+deadline is its arrival time plus the *delay budget* of its connection.
+Non-preemptive, like real link scheduling: a cell mid-transmission
+finishes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import SimulationError
+from .cell import Cell
+from .engine import Engine
+
+__all__ = ["EdfPort"]
+
+Downstream = Callable[[Cell], None]
+
+
+class EdfPort:
+    """A unit-rate server draining cells in deadline order.
+
+    Parameters
+    ----------
+    engine, name, downstream:
+        As for :class:`~repro.sim.switch.OutputPort`.
+    budgets:
+        Per-connection delay budget in cell times; a cell of connection
+        ``c`` arriving at ``t`` gets deadline ``t + budgets[c]``.
+    default_budget:
+        Budget for connections missing from ``budgets`` (None = reject).
+    """
+
+    def __init__(self, engine: Engine, name: str, downstream: Downstream,
+                 budgets: Optional[Dict[str, float]] = None,
+                 default_budget: Optional[float] = None):
+        self.engine = engine
+        self.name = name
+        self.downstream = downstream
+        self.budgets = dict(budgets or {})
+        self.default_budget = default_budget
+        self._heap: List[Tuple[float, int, Cell, float]] = []
+        self._sequence = itertools.count()
+        self._busy = False
+        self.transmitted = 0
+        self._peak_depth = 0
+        self.deadline_misses = 0
+
+    def budget_for(self, connection: str) -> float:
+        """The delay budget assigned to one connection."""
+        budget = self.budgets.get(connection, self.default_budget)
+        if budget is None:
+            raise SimulationError(
+                f"EDF port {self.name!r} has no delay budget for "
+                f"connection {connection!r}"
+            )
+        return budget
+
+    def receive(self, cell: Cell, priority: int = 0) -> None:
+        """Accept a cell; ``priority`` is ignored (EDF orders by time)."""
+        arrived = self.engine.now
+        deadline = arrived + self.budget_for(cell.connection)
+        heapq.heappush(
+            self._heap, (deadline, next(self._sequence), cell, arrived))
+        if len(self._heap) > self._peak_depth:
+            self._peak_depth = len(self._heap)
+        if not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        if not self._heap:
+            self._busy = False
+            return
+        deadline, _seq, cell, arrived = heapq.heappop(self._heap)
+        self._busy = True
+        wait = self.engine.now - arrived
+        cell.hop_waits.append(wait)
+        if self.engine.now + 1.0 > deadline:
+            self.deadline_misses += 1
+        self.engine.schedule_in(1.0, lambda: self._complete(cell))
+
+    def _complete(self, cell: Cell) -> None:
+        self.transmitted += 1
+        self.downstream(cell)
+        self._serve_next()
+
+    @property
+    def busy(self) -> bool:
+        """Whether the server is mid-transmission."""
+        return self._busy
+
+    @property
+    def depth(self) -> int:
+        """Cells currently queued."""
+        return len(self._heap)
+
+    @property
+    def peak_depth(self) -> int:
+        """Largest queue depth observed."""
+        return self._peak_depth

@@ -1,0 +1,116 @@
+"""Dual leaky-bucket traffic shaping/policing (the GCRA of the contract).
+
+A VBR contract ``(PCR, SCR, MBS)`` is enforced by two constraints:
+
+* consecutive cells are at least ``1/PCR`` apart (peak spacing);
+* a token bucket of depth ``B = 1 + (MBS - 1) * (1 - SCR/PCR)`` refilled
+  at ``SCR`` has a full token available (sustained rate with bursts).
+
+With this bucket depth, a greedy source produces exactly the Figure 1
+worst case: ``MBS`` cells at ``PCR`` followed by cells at ``SCR``
+spacing, which is the pattern Algorithm 2.1 envelopes.  (A bucket of
+depth ``MBS`` -- the paper's informal narration -- would refill *during*
+the burst and permit longer peak-rate runs; see
+:func:`repro.core.traffic.worst_case_cell_times`.)
+
+The same object serves as a shaper (ask for the earliest conforming
+time, emit then) or a policer (check conformance of an arrival).
+"""
+
+from __future__ import annotations
+
+from ..core.traffic import VBRParameters
+
+__all__ = ["DualLeakyBucket", "bucket_depth"]
+
+
+def bucket_depth(params: VBRParameters) -> float:
+    """Token-bucket depth matching the Figure 1 worst case exactly."""
+    if params.is_cbr:
+        return 1.0
+    return 1.0 + (params.mbs - 1) * (1.0 - params.scr / params.pcr)
+
+
+class DualLeakyBucket:
+    """Stateful conformance tracker for one connection.
+
+    Examples
+    --------
+    >>> from repro.core.traffic import VBRParameters
+    >>> bucket = DualLeakyBucket(VBRParameters(pcr=0.5, scr=0.1, mbs=3))
+    >>> [bucket.emit_earliest(0.0) for _ in range(4)]
+    [0.0, 2.0, 4.0, 14.0]
+    """
+
+    def __init__(self, params: VBRParameters):
+        self.params = params
+        self._depth = bucket_depth(params)
+        self._tokens = self._depth
+        self._last_update = 0.0
+        self._last_emission: float = None  # type: ignore[assignment]
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently in the bucket (diagnostics)."""
+        return self._tokens
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_update:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_update}"
+            )
+        self._tokens = min(
+            self._depth,
+            self._tokens + (now - self._last_update) * float(self.params.scr),
+        )
+        self._last_update = now
+
+    def earliest_conforming(self, now: float) -> float:
+        """Earliest time >= ``now`` at which a cell may be emitted.
+
+        ``now`` earlier than the bucket's internal clock is clamped to
+        it: the question is always "from here on, when is the next
+        conforming slot".
+        """
+        self._refill(max(now, self._last_update))
+        earliest = now
+        if self._last_emission is not None:
+            earliest = max(
+                earliest, self._last_emission + 1.0 / float(self.params.pcr))
+        if self._tokens < 1.0:
+            shortfall = (1.0 - self._tokens) / float(self.params.scr)
+            earliest = max(earliest, self._last_update + shortfall)
+        return earliest
+
+    def record_emission(self, time: float) -> None:
+        """Account for a cell emitted at ``time`` (must conform)."""
+        if not self.conforms(time):
+            raise ValueError(
+                f"emission at {time} violates the traffic contract"
+            )
+        self._refill(time)
+        self._tokens -= 1.0
+        self._last_emission = time
+
+    def conforms(self, time: float) -> bool:
+        """Would a cell at ``time`` conform?  (Policer view; no state change.)"""
+        if time < self._last_update:
+            raise ValueError(
+                f"time went backwards: {time} < {self._last_update}"
+            )
+        tokens = min(
+            self._depth,
+            self._tokens + (time - self._last_update) * float(self.params.scr),
+        )
+        if tokens < 1.0 - 1e-9:
+            return False
+        if self._last_emission is not None and \
+                time < self._last_emission + 1.0 / float(self.params.pcr) - 1e-9:
+            return False
+        return True
+
+    def emit_earliest(self, now: float) -> float:
+        """Shaper convenience: find the earliest slot and emit there."""
+        slot = self.earliest_conforming(now)
+        self.record_emission(slot)
+        return slot

@@ -1,0 +1,67 @@
+"""Adversarial jitter stages.
+
+The paper's Section 1 motivation: peak bandwidth allocation fails
+because upstream queueing can *clump* a nicely spaced CBR stream.  These
+stages synthesize that distortion deterministically -- each models a
+chain of upstream queueing points that delays cells by anywhere between
+zero and ``cdv`` cell times, arranged to produce the worst clumping.
+
+A stage sits on a wire: it intercepts cells and re-delivers them later
+(never earlier, never reordering cells of one connection).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from .cell import Cell
+from .engine import Engine
+
+__all__ = ["ClumpingJitter", "FixedJitter"]
+
+Downstream = Callable[[Cell], None]
+
+
+class ClumpingJitter:
+    """Worst-case clumping: hold each ``cdv`` window, release at its end.
+
+    Cells arriving during ``[k * cdv, (k+1) * cdv)`` are held until
+    ``(k+1) * cdv`` and released back-to-back (one per cell time, which
+    a real link would enforce anyway).  Every cell is delayed by at most
+    ``cdv``, yet the output contains bursts at full link rate -- exactly
+    the distortion Algorithm 3.1 envelopes.
+    """
+
+    def __init__(self, engine: Engine, cdv: float, downstream: Downstream):
+        if cdv <= 0:
+            raise ValueError(f"cdv must be positive, got {cdv}")
+        self.engine = engine
+        self.cdv = cdv
+        self.downstream = downstream
+        self.delayed_cells = 0
+        self._next_slot = 0.0   # global release cursor: keeps FIFO order
+
+    def receive(self, cell: Cell) -> None:
+        """Intercept a cell and re-deliver it at its window boundary."""
+        now = self.engine.now
+        window_end = math.floor(now / self.cdv + 1.0) * self.cdv
+        slot = max(window_end, self._next_slot)
+        self._next_slot = slot + 1.0
+        self.delayed_cells += 1
+        self.engine.schedule(slot, lambda: self.downstream(cell))
+
+
+class FixedJitter:
+    """Delay every cell by a constant amount (a trivial upstream path)."""
+
+    def __init__(self, engine: Engine, delay: float, downstream: Downstream):
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.engine = engine
+        self.delay = delay
+        self.downstream = downstream
+
+    def receive(self, cell: Cell) -> None:
+        """Re-deliver the cell ``delay`` cell times later."""
+        self.engine.schedule_in(self.delay, lambda: self.downstream(cell))

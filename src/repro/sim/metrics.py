@@ -1,0 +1,85 @@
+"""Measurement collection for simulation runs.
+
+The validator cares about one headline number per connection -- the
+largest observed end-to-end queueing delay, to compare against the
+analytic bound -- plus enough breakdown (per-hop maxima, delivery
+counts, queue peaks) to debug a violation if one ever appeared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .cell import Cell
+
+__all__ = ["ConnectionStats", "Metrics"]
+
+
+@dataclass
+class ConnectionStats:
+    """Accumulated delivery statistics of one connection."""
+
+    connection: str
+    delivered: int = 0
+    max_e2e_delay: float = 0.0
+    total_e2e_delay: float = 0.0
+    max_hop_waits: List[float] = field(default_factory=list)
+
+    @property
+    def mean_e2e_delay(self) -> float:
+        """Average end-to-end queueing delay over delivered cells."""
+        return self.total_e2e_delay / self.delivered if self.delivered else 0.0
+
+    def record(self, cell: Cell) -> None:
+        """Fold one delivered cell into the statistics."""
+        self.delivered += 1
+        delay = cell.total_queueing_delay
+        if delay > self.max_e2e_delay:
+            self.max_e2e_delay = delay
+        self.total_e2e_delay += delay
+        for index, wait in enumerate(cell.hop_waits):
+            if index >= len(self.max_hop_waits):
+                self.max_hop_waits.append(wait)
+            elif wait > self.max_hop_waits[index]:
+                self.max_hop_waits[index] = wait
+
+
+class Metrics:
+    """Per-connection sink statistics for a whole simulation."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, ConnectionStats] = {}
+
+    def sink_for(self, connection: str):
+        """A downstream callback recording deliveries of one connection."""
+        stats = self._stats.setdefault(
+            connection, ConnectionStats(connection))
+
+        def deliver(cell: Cell) -> None:
+            stats.record(cell)
+        return deliver
+
+    def record(self, cell: Cell) -> None:
+        """Record a delivery routed by connection name."""
+        stats = self._stats.setdefault(
+            cell.connection, ConnectionStats(cell.connection))
+        stats.record(cell)
+
+    def stats(self, connection: str) -> ConnectionStats:
+        """Statistics of one connection (zeros if nothing delivered)."""
+        return self._stats.get(connection, ConnectionStats(connection))
+
+    def connections(self) -> List[str]:
+        """Connections with at least one recorded delivery."""
+        return sorted(self._stats)
+
+    def worst_e2e_delay(self) -> float:
+        """Largest end-to-end queueing delay across every connection."""
+        if not self._stats:
+            return 0.0
+        return max(s.max_e2e_delay for s in self._stats.values())
+
+    def total_delivered(self) -> int:
+        """Cells delivered across every connection."""
+        return sum(s.delivered for s in self._stats.values())

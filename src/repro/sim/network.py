@@ -1,0 +1,192 @@
+"""Assemble a runnable simulation from a topology and connection routes.
+
+:class:`SimNetwork` mirrors the analytical model one-to-one:
+
+* every switch node becomes a :class:`~repro.sim.switch.SimSwitch` whose
+  output ports correspond to the node's outgoing links; per-priority
+  queue capacities come from the link's advertised ``bounds`` (in RTnet
+  the advertised bound *is* the queue size in cells) unless overridden;
+* terminals become sources (caller-provided) and metric sinks;
+* a source's access link serializes cells, so a cell emitted at ``t`` is
+  *fully arrived* at the first switch at ``t + 1`` -- matching the
+  leading unit-length rate-1 segment of the Algorithm 2.1 envelope;
+* optional jitter stages can be spliced into any link to emulate
+  additional upstream distortion (the Section 1 motivation).
+
+The usual flow::
+
+    sim = SimNetwork(topology)
+    sim.attach_route("vc0", route, priority=0)
+    CbrSource(sim.engine, "vc0", pcr, sim.ingress("vc0"), until=10_000)
+    sim.run(until=12_000)
+    sim.metrics.stats("vc0").max_e2e_delay
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..exceptions import SimulationError
+from ..network.routing import Route
+from ..network.topology import Network
+from .cell import Cell
+from .engine import Engine
+from .metrics import Metrics
+from .switch import OutputPort, SimSwitch
+
+__all__ = ["SimNetwork"]
+
+
+class SimNetwork:
+    """A discrete-event instantiation of a :class:`Network` topology."""
+
+    def __init__(self, topology: Network,
+                 unbounded_queues: bool = False,
+                 propagation: float = 0.0):
+        self.topology = topology
+        self.engine = Engine()
+        self.metrics = Metrics()
+        self.unbounded_queues = unbounded_queues
+        self.propagation = propagation
+        self._switches: Dict[str, SimSwitch] = {}
+        self._ingress: Dict[str, Callable[[Cell], None]] = {}
+        self._jitter: Dict[str, Callable[[Cell], None]] = {}
+
+        for node in topology.switches():
+            self._switches[node.name] = SimSwitch(self.engine, node.name)
+        for node in topology.switches():
+            for link in topology.out_links(node.name):
+                capacities = None
+                if not self.unbounded_queues and link.bounds:
+                    capacities = {
+                        priority: int(bound)
+                        for priority, bound in link.bounds.items()
+                    }
+                self._switches[node.name].add_port(
+                    link.name,
+                    self._downstream_for(link.name, link.dst),
+                    capacities,
+                    propagation,
+                )
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _downstream_for(self, link_name: str, dst: str):
+        """The delivery callback at the far end of a link."""
+        def deliver(cell: Cell) -> None:
+            stage = self._jitter.get(link_name)
+            if stage is not None:
+                stage(cell)
+            else:
+                self._deliver_to_node(dst, cell)
+        return deliver
+
+    def _deliver_to_node(self, node_name: str, cell: Cell) -> None:
+        node = self.topology.node(node_name)
+        if node.is_switch:
+            self._switches[node_name].receive(cell)
+        else:
+            self.metrics.record(cell)
+
+    def add_jitter(self, link_name: str, stage_factory) -> None:
+        """Splice an adversarial jitter stage into a link.
+
+        ``stage_factory(engine, downstream)`` must return an object with
+        a ``receive(cell)`` method; the stage's downstream is the link's
+        original destination.
+        """
+        link = self.topology.link(link_name)
+        stage = stage_factory(
+            self.engine,
+            lambda cell: self._deliver_to_node(link.dst, cell),
+        )
+        self._jitter[link_name] = stage.receive
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def attach_route(self, connection: str, route: Route,
+                     priority: int = 0) -> None:
+        """Program forwarding for a connection along its route."""
+        if connection in self._ingress:
+            raise SimulationError(
+                f"connection {connection!r} already attached"
+            )
+        for hop in route.hops():
+            self._switches[hop.switch].set_forwarding(
+                connection, hop.out_link, priority)
+        destination = self.topology.node(route.destination)
+        if destination.is_switch:
+            # The route terminates at a switch (e.g. an RTnet broadcast
+            # circling the ring): its cells are consumed there.
+            self._switches[destination.name].set_local_delivery(
+                connection, self.metrics.record)
+
+        first_links = route.links
+        source_node = self.topology.node(route.source)
+        if source_node.is_switch:
+            entry = self._switches[route.source]
+
+            def ingress(cell: Cell) -> None:
+                entry.receive(cell)
+        else:
+            # The access link serializes: a cell emitted at t is fully
+            # received by the first switch one cell time later.
+            first_switch = self._switches[first_links[0].dst]
+
+            def ingress(cell: Cell) -> None:
+                self.engine.schedule_in(
+                    1.0, lambda: first_switch.receive(cell))
+        self._ingress[connection] = ingress
+
+    def ingress(self, connection: str) -> Callable[[Cell], None]:
+        """The consumer callback a source should emit into."""
+        try:
+            return self._ingress[connection]
+        except KeyError:
+            raise SimulationError(
+                f"connection {connection!r} is not attached"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Running and reporting
+    # ------------------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to the given horizon."""
+        self.engine.run(until=until)
+
+    def switch(self, name: str) -> SimSwitch:
+        """The simulated switch for one topology node."""
+        try:
+            return self._switches[name]
+        except KeyError:
+            raise SimulationError(f"no simulated switch {name!r}") from None
+
+    def port(self, switch: str, out_link: str) -> OutputPort:
+        """One output port, for queue-depth inspection."""
+        return self.switch(switch).port(out_link)
+
+    def peak_queue_depths(self) -> Dict[str, Dict[int, int]]:
+        """Per-port peak queue depth by priority (ports that saw cells)."""
+        peaks: Dict[str, Dict[int, int]] = {}
+        for switch in self._switches.values():
+            for out_link, port in switch.ports().items():
+                per_priority = {
+                    priority: port.queue.peak_depth(priority)
+                    for priority in port.queue.priorities()
+                }
+                if per_priority:
+                    peaks[port.name] = per_priority
+        return peaks
+
+    def total_drops(self) -> int:
+        """Cells dropped by full queues anywhere in the network."""
+        return sum(
+            port.queue.total_drops()
+            for switch in self._switches.values()
+            for port in switch.ports().values()
+        )

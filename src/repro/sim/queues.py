@@ -1,0 +1,79 @@
+"""Static-priority FIFO queues for switch output ports (Section 4.1).
+
+Cells of a connection land in one of the per-priority FIFO queues of the
+output port.  The server always takes from the highest-priority
+non-empty queue; within a queue, strict arrival order.  Each queue may
+have a finite capacity in cells (RTnet: 32); overflowing cells are
+dropped and counted -- a hard real-time guarantee violated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional, Tuple
+
+from .cell import Cell
+
+__all__ = ["PriorityFifo"]
+
+
+class PriorityFifo:
+    """A bank of FIFO queues indexed by priority (0 = served first)."""
+
+    def __init__(self, capacities: Optional[Dict[int, int]] = None):
+        """``capacities`` maps priority -> max cells (None = unbounded)."""
+        self._queues: Dict[int, Deque[Tuple[Cell, float]]] = {}
+        self._capacities = dict(capacities or {})
+        self._peak_depth: Dict[int, int] = {}
+        self._drops: Dict[int, int] = {}
+
+    def push(self, cell: Cell, priority: int, arrived_at: float) -> bool:
+        """Enqueue a cell; returns False (and counts a drop) on overflow."""
+        queue = self._queues.setdefault(priority, deque())
+        capacity = self._capacities.get(priority)
+        if capacity is not None and len(queue) >= capacity:
+            self._drops[priority] = self._drops.get(priority, 0) + 1
+            return False
+        queue.append((cell, arrived_at))
+        depth = len(queue)
+        if depth > self._peak_depth.get(priority, 0):
+            self._peak_depth[priority] = depth
+        return True
+
+    def pop(self) -> Optional[Tuple[Cell, int, float]]:
+        """Dequeue from the highest-priority non-empty queue.
+
+        Returns ``(cell, priority, arrived_at)`` or None when idle.
+        """
+        for priority in sorted(self._queues):
+            queue = self._queues[priority]
+            if queue:
+                cell, arrived_at = queue.popleft()
+                return cell, priority, arrived_at
+        return None
+
+    def depth(self, priority: Optional[int] = None) -> int:
+        """Cells queued at one priority, or across all priorities."""
+        if priority is not None:
+            return len(self._queues.get(priority, ()))
+        return sum(len(q) for q in self._queues.values())
+
+    def peak_depth(self, priority: int) -> int:
+        """Largest queue depth observed at a priority."""
+        return self._peak_depth.get(priority, 0)
+
+    def drops(self, priority: int) -> int:
+        """Cells dropped at a priority due to a full queue."""
+        return self._drops.get(priority, 0)
+
+    def total_drops(self) -> int:
+        """Cells dropped across all priorities."""
+        return sum(self._drops.values())
+
+    @property
+    def is_empty(self) -> bool:
+        return all(not q for q in self._queues.values())
+
+    def priorities(self) -> Iterable[int]:
+        """Priorities that have ever held cells."""
+        return sorted(self._queues)

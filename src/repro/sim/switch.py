@@ -1,0 +1,153 @@
+"""Output-queued switch with static-priority FIFO ports (Section 4.1).
+
+Each output port owns a :class:`~repro.sim.queues.PriorityFifo` and a
+server transmitting one cell per cell time.  A cell's *queueing wait* at
+a port is the time between its (complete) arrival and the start of its
+transmission -- the discrete counterpart of the fluid delay the paper's
+Algorithm 4.1 bounds.  Per-hop waits accumulate on the cell record, so
+the sink can report end-to-end queueing delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..exceptions import SimulationError
+from .cell import Cell
+from .engine import Engine
+from .queues import PriorityFifo
+
+__all__ = ["OutputPort", "SimSwitch"]
+
+Downstream = Callable[[Cell], None]
+
+
+class OutputPort:
+    """One output port: priority FIFO bank plus a unit-rate server."""
+
+    def __init__(self, engine: Engine, name: str,
+                 downstream: Downstream,
+                 capacities: Optional[Dict[int, int]] = None,
+                 propagation: float = 0.0):
+        self.engine = engine
+        self.name = name
+        self.downstream = downstream
+        self.queue = PriorityFifo(capacities)
+        self.propagation = propagation
+        self._busy = False
+        self.transmitted = 0
+
+    def receive(self, cell: Cell, priority: int) -> None:
+        """Accept a (fully arrived) cell into the priority queue."""
+        accepted = self.queue.push(cell, priority, self.engine.now)
+        if accepted and not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        item = self.queue.pop()
+        if item is None:
+            self._busy = False
+            return
+        cell, _priority, arrived_at = item
+        self._busy = True
+        wait = self.engine.now - arrived_at
+        if wait < 0:
+            raise SimulationError(
+                f"negative wait {wait} at port {self.name}"
+            )
+        cell.hop_waits.append(wait)
+        self.engine.schedule_in(1.0, lambda: self._complete(cell))
+
+    def _complete(self, cell: Cell) -> None:
+        self.transmitted += 1
+        if self.propagation > 0:
+            self.engine.schedule_in(
+                self.propagation, lambda: self.downstream(cell))
+        else:
+            self.downstream(cell)
+        self._serve_next()
+
+    @property
+    def busy(self) -> bool:
+        """Whether the server is mid-transmission."""
+        return self._busy
+
+
+class SimSwitch:
+    """A switch: forwarding table plus one output port per out-link."""
+
+    def __init__(self, engine: Engine, name: str):
+        self.engine = engine
+        self.name = name
+        self._ports: Dict[str, OutputPort] = {}
+        #: connection -> (out_link, priority)
+        self._forwarding: Dict[str, Tuple[str, int]] = {}
+        #: connection -> sink for routes terminating at this switch
+        self._local: Dict[str, Downstream] = {}
+
+    def add_port(self, out_link: str, downstream: Downstream,
+                 capacities: Optional[Dict[int, int]] = None,
+                 propagation: float = 0.0) -> OutputPort:
+        """Create the output port driving ``out_link``."""
+        if out_link in self._ports:
+            raise SimulationError(
+                f"switch {self.name!r} already has port {out_link!r}"
+            )
+        port = OutputPort(self.engine, f"{self.name}:{out_link}",
+                          downstream, capacities, propagation)
+        self._ports[out_link] = port
+        return port
+
+    def add_custom_port(self, out_link: str, port) -> None:
+        """Install a pre-built port (e.g. an EDF port) on an out-link.
+
+        The port must expose ``receive(cell, priority)``; everything
+        else about it (queueing discipline, bookkeeping) is its own.
+        """
+        if out_link in self._ports:
+            raise SimulationError(
+                f"switch {self.name!r} already has port {out_link!r}"
+            )
+        self._ports[out_link] = port
+
+    def port(self, out_link: str) -> OutputPort:
+        """Look up an output port."""
+        try:
+            return self._ports[out_link]
+        except KeyError:
+            raise SimulationError(
+                f"switch {self.name!r} has no port {out_link!r}"
+            ) from None
+
+    def set_forwarding(self, connection: str, out_link: str,
+                       priority: int) -> None:
+        """Program the VC table entry for one connection."""
+        if out_link not in self._ports:
+            raise SimulationError(
+                f"switch {self.name!r} has no port {out_link!r}"
+            )
+        self._forwarding[connection] = (out_link, priority)
+
+    def set_local_delivery(self, connection: str,
+                           sink: Downstream) -> None:
+        """Deliver a connection's cells locally (its route ends here)."""
+        self._local[connection] = sink
+
+    def receive(self, cell: Cell) -> None:
+        """A cell fully arrived at this switch: forward per the VC table."""
+        sink = self._local.get(cell.connection)
+        if sink is not None:
+            sink(cell)
+            return
+        try:
+            out_link, priority = self._forwarding[cell.connection]
+        except KeyError:
+            raise SimulationError(
+                f"switch {self.name!r} has no forwarding entry for "
+                f"connection {cell.connection!r}"
+            ) from None
+        self._ports[out_link].receive(cell, priority)
+
+    def ports(self) -> Dict[str, OutputPort]:
+        """All ports keyed by out-link name."""
+        return dict(self._ports)

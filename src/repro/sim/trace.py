@@ -1,0 +1,113 @@
+"""Cell-journey tracing for simulation debugging.
+
+Wrap any delivery/ingress callback chain with a :class:`CellTracer` to
+record, per cell, every station it visited and when.  The validation
+benches don't need this (they only compare maxima), but when a bound
+comparison *does* look wrong, the journey log is how you find which
+port misbehaved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .cell import Cell
+from .engine import Engine
+
+__all__ = ["JourneyEvent", "CellJourney", "CellTracer"]
+
+
+@dataclass(frozen=True)
+class JourneyEvent:
+    """One observation of a cell at a traced station."""
+
+    station: str
+    time: float
+
+
+@dataclass
+class CellJourney:
+    """The recorded life of one cell."""
+
+    connection: str
+    sequence: int
+    emitted_at: float
+    events: List[JourneyEvent] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        """Time from emission to the last traced observation."""
+        if not self.events:
+            return 0.0
+        return self.events[-1].time - self.emitted_at
+
+    def timeline(self) -> str:
+        """A one-line human-readable journey summary."""
+        stations = " -> ".join(
+            f"{event.station}@{event.time:.2f}" for event in self.events)
+        return (f"{self.connection}#{self.sequence} "
+                f"emitted@{self.emitted_at:.2f} {stations}")
+
+
+class CellTracer:
+    """Collects journeys; produces wrapped observation callbacks.
+
+    Examples
+    --------
+    Trace a switch's delivery path::
+
+        tracer = CellTracer(engine)
+        switch.add_port("out", tracer.observer("sw:out", sink))
+
+    Every cell passing the port gets a timestamped event; ``sink`` is
+    called unchanged afterwards.
+    """
+
+    def __init__(self, engine: Engine, keep: Optional[int] = None):
+        """``keep`` caps the number of journeys retained (FIFO evict)."""
+        self.engine = engine
+        self.keep = keep
+        self._journeys: Dict[Tuple[str, int], CellJourney] = {}
+        self._order: List[Tuple[str, int]] = []
+
+    def _journey_for(self, cell: Cell) -> CellJourney:
+        key = (cell.connection, cell.sequence)
+        journey = self._journeys.get(key)
+        if journey is None:
+            journey = CellJourney(cell.connection, cell.sequence,
+                                  cell.emitted_at)
+            self._journeys[key] = journey
+            self._order.append(key)
+            if self.keep is not None and len(self._order) > self.keep:
+                evicted = self._order.pop(0)
+                del self._journeys[evicted]
+        return journey
+
+    def observe(self, station: str, cell: Cell) -> None:
+        """Record the cell at a station right now."""
+        self._journey_for(cell).events.append(
+            JourneyEvent(station, self.engine.now))
+
+    def observer(self, station: str,
+                 downstream: Callable[[Cell], None]):
+        """A pass-through callback that records then forwards."""
+        def wrapped(cell: Cell) -> None:
+            self.observe(station, cell)
+            downstream(cell)
+        return wrapped
+
+    def journey(self, connection: str, sequence: int) -> CellJourney:
+        """The recorded journey of one cell (KeyError if untraced)."""
+        return self._journeys[(connection, sequence)]
+
+    def journeys(self, connection: Optional[str] = None) -> List[CellJourney]:
+        """All retained journeys, optionally for one connection."""
+        return [
+            self._journeys[key] for key in self._order
+            if connection is None or key[0] == connection
+        ]
+
+    def dump(self, connection: Optional[str] = None) -> str:
+        """All matching journeys as a text block."""
+        return "\n".join(j.timeline() for j in self.journeys(connection))

@@ -1,0 +1,127 @@
+"""Unit conversions for ATM cell-based time and rate arithmetic.
+
+The paper (Section 2) measures time in *cell times* -- the time needed to
+transmit one 53-byte ATM cell at the full link bandwidth -- and normalizes
+all rates to the link bandwidth (so a rate of ``1`` means "one cell per
+cell time", i.e. the full link).
+
+This module provides the conversions between physical units (seconds,
+milliseconds, bits per second) and the normalized units used throughout
+:mod:`repro.core`, plus the constants of the RTnet evaluation platform
+(155.52 Mbps SDH/STM-1 links, 53-byte cells, so one cell time is roughly
+2.7 microseconds -- the paper rounds to "about 2.7 microseconds").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Size of an ATM cell in bytes (5-byte header + 48-byte payload).
+CELL_BYTES = 53
+
+#: Size of an ATM cell in bits.
+CELL_BITS = CELL_BYTES * 8
+
+#: Payload carried by one ATM cell in bytes (AAL overhead not modelled).
+CELL_PAYLOAD_BYTES = 48
+
+#: Nominal SDH STM-1 / SONET OC-3 line rate used by RTnet, in bits/second.
+OC3_LINE_RATE_BPS = 155.52e6
+
+
+@dataclass(frozen=True)
+class LinkRate:
+    """A physical link rate and the conversions it induces.
+
+    The normalized unit system of the paper is *relative to one link*:
+    once a link rate is fixed, a "cell time" and a "normalized rate" are
+    both well defined.
+
+    Parameters
+    ----------
+    bits_per_second:
+        Raw line rate of the link in bits per second.
+
+    Examples
+    --------
+    >>> oc3 = LinkRate(OC3_LINE_RATE_BPS)
+    >>> round(oc3.cell_time_seconds * 1e6, 2)  # microseconds per cell
+    2.73
+    >>> round(oc3.cells_per_second)
+    366792
+    """
+
+    bits_per_second: float
+
+    @property
+    def cell_time_seconds(self) -> float:
+        """Duration of one cell time in seconds."""
+        return CELL_BITS / self.bits_per_second
+
+    @property
+    def cells_per_second(self) -> float:
+        """Number of cells the link transmits per second at full rate."""
+        return self.bits_per_second / CELL_BITS
+
+    def seconds_to_cell_times(self, seconds: float) -> float:
+        """Convert a duration in seconds into cell times."""
+        return seconds / self.cell_time_seconds
+
+    def ms_to_cell_times(self, milliseconds: float) -> float:
+        """Convert a duration in milliseconds into cell times."""
+        return self.seconds_to_cell_times(milliseconds * 1e-3)
+
+    def cell_times_to_seconds(self, cell_times: float) -> float:
+        """Convert a duration in cell times into seconds."""
+        return cell_times * self.cell_time_seconds
+
+    def cell_times_to_ms(self, cell_times: float) -> float:
+        """Convert a duration in cell times into milliseconds."""
+        return self.cell_times_to_seconds(cell_times) * 1e3
+
+    def normalized_rate(self, bits_per_second: float) -> float:
+        """Normalize a bit rate to this link (1.0 == full link rate)."""
+        return bits_per_second / self.bits_per_second
+
+    def mbps_to_normalized(self, mbps: float) -> float:
+        """Normalize a rate given in Mbps to this link."""
+        return self.normalized_rate(mbps * 1e6)
+
+    def normalized_to_mbps(self, rate: float) -> float:
+        """Convert a normalized rate back to Mbps on this link."""
+        return rate * self.bits_per_second / 1e6
+
+
+#: The RTnet link: dual 155 Mbps ring links (Section 5).
+RTNET_LINK = LinkRate(OC3_LINE_RATE_BPS)
+
+
+def cells_for_bytes(num_bytes: int) -> int:
+    """Number of ATM cells needed to carry ``num_bytes`` of payload.
+
+    >>> cells_for_bytes(48)
+    1
+    >>> cells_for_bytes(49)
+    2
+    >>> cells_for_bytes(0)
+    0
+    """
+    if num_bytes < 0:
+        raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+    return -(-num_bytes // CELL_PAYLOAD_BYTES)
+
+
+def bandwidth_for_cyclic(memory_bytes: int, period_seconds: float,
+                         link: LinkRate = RTNET_LINK) -> float:
+    """Raw bandwidth (bits/second) needed to ship a cyclic memory image.
+
+    A cyclic-transmission terminal broadcasts a ``memory_bytes`` shared
+    memory image every ``period_seconds``.  The required line bandwidth
+    includes the cell header overhead (each 48-byte payload chunk costs a
+    53-byte cell on the wire).  This is the arithmetic behind the
+    "bandwidth (Mbps)" column of Table 1.
+    """
+    if period_seconds <= 0:
+        raise ValueError(f"period must be positive, got {period_seconds}")
+    cells = cells_for_bytes(memory_bytes)
+    return cells * CELL_BITS / period_seconds

@@ -1,0 +1,66 @@
+"""Hard / soft CDV accumulation policies."""
+
+import math
+
+import pytest
+
+from repro.core.accumulation import HARD, SOFT, HardCdv, SoftCdv, make_policy
+
+
+class TestHard:
+    def test_empty_is_zero(self):
+        assert HARD.accumulate([]) == 0
+
+    def test_sums(self):
+        assert HARD.accumulate([32, 32, 32]) == 96
+
+    def test_exact_with_fractions(self):
+        from fractions import Fraction as F
+        assert HARD.accumulate([F(1, 3), F(1, 6)]) == F(1, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HARD.accumulate([5, -1])
+
+    def test_name(self):
+        assert HARD.name == "hard"
+        assert "HardCdv" in repr(HardCdv())
+
+
+class TestSoft:
+    def test_empty_is_zero(self):
+        assert SOFT.accumulate([]) == 0
+
+    def test_sqrt_of_sum_of_squares(self):
+        assert SOFT.accumulate([3, 4]) == pytest.approx(5)
+
+    def test_single_bound_unchanged(self):
+        assert SOFT.accumulate([32]) == pytest.approx(32)
+
+    def test_never_exceeds_hard(self):
+        for bounds in ([32] * 4, [1, 2, 3], [10, 0, 10]):
+            assert SOFT.accumulate(bounds) <= HARD.accumulate(bounds) + 1e-12
+
+    def test_at_least_the_largest_bound(self):
+        assert SOFT.accumulate([5, 12, 3]) >= 12
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SOFT.accumulate([-2])
+
+    def test_name(self):
+        assert SOFT.name == "soft"
+
+
+class TestMakePolicy:
+    def test_by_name(self):
+        assert make_policy("hard") is HARD
+        assert make_policy("SOFT") is SOFT
+
+    def test_instance_passthrough(self):
+        custom = SoftCdv()
+        assert make_policy(custom) is custom
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown CDV policy"):
+            make_policy("medium")

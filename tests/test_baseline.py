@@ -1,0 +1,103 @@
+"""Baseline CAC schemes: peak and sustained bandwidth allocation."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.baseline import PeakBandwidthCAC, SustainedBandwidthCAC
+from repro.core.traffic import VBRParameters, cbr
+from repro.exceptions import AdmissionError
+from repro.network.connection import ConnectionRequest
+from repro.network.routing import shortest_path
+from repro.network.topology import line_network
+
+
+@pytest.fixture
+def net():
+    return line_network(3, bounds={0: 32}, terminals_per_switch=2)
+
+
+def request(net, name, rate, src="t0.0", dst="t2.0", traffic=None):
+    return ConnectionRequest(
+        name, traffic or cbr(rate), shortest_path(net, src, dst))
+
+
+class TestPeakBandwidth:
+    def test_admits_until_capacity(self, net):
+        cac = PeakBandwidthCAC(net)
+        for index in range(4):
+            cac.setup(request(net, f"vc{index}", F(1, 4)))
+        assert not cac.would_admit(request(net, "extra", F(1, 4)))
+        with pytest.raises(AdmissionError, match="exceed capacity"):
+            cac.setup(request(net, "extra", F(1, 4)))
+
+    def test_exact_fill_allowed(self, net):
+        cac = PeakBandwidthCAC(net)
+        cac.setup(request(net, "a", F(1, 2)))
+        cac.setup(request(net, "b", F(1, 2)))
+        assert cac.allocated("s0->s1") == 1
+
+    def test_teardown_releases(self, net):
+        cac = PeakBandwidthCAC(net)
+        cac.setup(request(net, "a", F(1, 2)))
+        cac.teardown("a")
+        assert cac.allocated("s0->s1") == 0
+        assert cac.established == {}
+
+    def test_teardown_unknown_rejected(self, net):
+        with pytest.raises(AdmissionError):
+            PeakBandwidthCAC(net).teardown("ghost")
+
+    def test_duplicate_rejected(self, net):
+        cac = PeakBandwidthCAC(net)
+        cac.setup(request(net, "a", F(1, 4)))
+        with pytest.raises(AdmissionError, match="already"):
+            cac.setup(request(net, "a", F(1, 4)))
+
+    def test_failure_leaves_no_partial_reservation(self, net):
+        cac = PeakBandwidthCAC(net)
+        cac.setup(request(net, "hog", F(3, 4), src="t1.0", dst="t2.0"))
+        # t0->t2 shares only the s1->s2 link with the hog.
+        with pytest.raises(AdmissionError):
+            cac.setup(request(net, "late", F(1, 2)))
+        assert cac.allocated("s0->s1") == 0
+
+    def test_setup_all_unwinds(self, net):
+        cac = PeakBandwidthCAC(net)
+        with pytest.raises(AdmissionError):
+            cac.setup_all([
+                request(net, "a", F(1, 2)),
+                request(net, "b", F(3, 4)),
+            ])
+        assert cac.established == {}
+
+    def test_uses_pcr_for_vbr(self, net):
+        cac = PeakBandwidthCAC(net)
+        vbr = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        cac.setup(request(net, "v", None, traffic=vbr))
+        assert cac.allocated("s0->s1") == F(1, 2)
+
+
+class TestSustainedBandwidth:
+    def test_uses_scr_for_vbr(self, net):
+        cac = SustainedBandwidthCAC(net)
+        vbr = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        cac.setup(request(net, "v", None, traffic=vbr))
+        assert cac.allocated("s0->s1") == F(1, 10)
+
+    def test_admits_more_than_peak_allocation(self, net):
+        vbr = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        peak = PeakBandwidthCAC(net)
+        sustained = SustainedBandwidthCAC(net)
+        admitted_peak = admitted_sustained = 0
+        for index in range(12):
+            name = f"vc{index}"
+            req = request(net, name, None, traffic=vbr)
+            if peak.would_admit(req):
+                peak.setup(req)
+                admitted_peak += 1
+            if sustained.would_admit(req):
+                sustained.setup(req)
+                admitted_sustained += 1
+        assert admitted_peak == 2       # 2 * 0.5 fills the link
+        assert admitted_sustained == 10  # 10 * 0.1 fills the link

@@ -1,0 +1,67 @@
+"""The rate-function-style delay bound (Raha et al. [9] baseline)."""
+
+import math
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core import aggregate, cbr, delay_bound
+from repro.core.baseline import rate_function_delay_bound
+from repro.core.traffic import VBRParameters
+
+
+class TestRateFunctionBound:
+    def test_empty_is_zero(self):
+        assert rate_function_delay_bound([]) == 0
+
+    def test_single_undistorted_cbr(self):
+        # No CDV, rate <= 1: the shifted curve never exceeds t except
+        # the leading unit-rate cell segment (zero backlog).
+        stream = cbr(F(1, 4)).worst_case_stream()
+        assert rate_function_delay_bound([(stream, 0)]) == 0
+
+    def test_hand_computed_clump(self):
+        # One CBR 1/4 with CDV 8: the shifted curve dumps A(8) = 1+7/4
+        # = 11/4 bits at t=0; it drains at 1 - 1/4 = 3/4... the maximum
+        # of A(t+8) - t is at t=0: 11/4.
+        stream = cbr(F(1, 4)).worst_case_stream()
+        assert rate_function_delay_bound([(stream, 8)]) == F(11, 4)
+
+    def test_sums_connections(self):
+        stream = cbr(F(1, 8)).worst_case_stream()
+        one = rate_function_delay_bound([(stream, 16)])
+        four = rate_function_delay_bound([(stream, 16)] * 4)
+        assert four > one
+
+    def test_never_tighter_than_bitstream(self):
+        params = VBRParameters(pcr=F(1, 2), scr=F(1, 16), mbs=5)
+        for cdv in (0, 8, 32, 96):
+            comps = [(params.worst_case_stream(), cdv) for _ in range(3)]
+            mrf = rate_function_delay_bound(comps)
+            bitstream = delay_bound(aggregate(
+                [s.delayed(c).filtered() for s, c in comps]))
+            assert mrf >= bitstream
+
+    def test_monotone_in_cdv(self):
+        stream = cbr(F(1, 8)).worst_case_stream()
+        bounds = [
+            rate_function_delay_bound([(stream, cdv)] * 4)
+            for cdv in (0, 16, 64)
+        ]
+        assert bounds == sorted(bounds)
+
+    def test_overload_is_inf(self):
+        stream = cbr(F(1, 2)).worst_case_stream()
+        assert rate_function_delay_bound(
+            [(stream, 10)] * 3) == math.inf
+
+    def test_exact_capacity_is_finite(self):
+        stream = cbr(F(1, 2)).worst_case_stream()
+        bound = rate_function_delay_bound([(stream, 10)] * 2)
+        assert bound != math.inf
+        assert bound > 0
+
+    def test_negative_cdv_rejected(self):
+        stream = cbr(F(1, 4)).worst_case_stream()
+        with pytest.raises(ValueError):
+            rate_function_delay_bound([(stream, -1)])

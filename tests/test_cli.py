@@ -1,0 +1,80 @@
+"""The repro-eval command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig10"])
+        assert args.ring_nodes == 16
+        assert 0.75 in args.loads
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        out = run(capsys, "table1")
+        assert "high speed" in out
+        assert "32.8" in out
+
+    def test_table1_csv(self, capsys):
+        out = run(capsys, "--csv", "table1")
+        assert out.splitlines()[0].startswith("class,")
+        assert "high speed,1,1,4" in out
+
+    def test_fig10_small(self, capsys):
+        out = run(capsys, "fig10", "--loads", "0.25", "0.75",
+                  "--terminals", "1")
+        assert "N=1" in out
+        assert "Figure 10" in out
+
+    def test_fig10_shows_rejection(self, capsys):
+        out = run(capsys, "fig10", "--loads", "0.99", "--terminals", "16")
+        assert "rejected" in out
+
+    def test_fig11_small(self, capsys):
+        out = run(capsys, "fig11", "--fractions", "0", "0.5",
+                  "--terminals", "4", "--ring-nodes", "8",
+                  "--tolerance", "0.05")
+        assert "Figure 11" in out
+
+    def test_fig12_small(self, capsys):
+        out = run(capsys, "fig12", "--fractions", "0.5",
+                  "--terminals", "4", "--ring-nodes", "8",
+                  "--tolerance", "0.05")
+        assert "2 priorities" in out
+
+    def test_fig13_small(self, capsys):
+        out = run(capsys, "fig13", "--fractions", "0.5",
+                  "--terminals", "4", "--ring-nodes", "8",
+                  "--tolerance", "0.05")
+        assert "soft CAC" in out
+
+    def test_vbr(self, capsys):
+        out = run(capsys, "vbr", "--mbs", "1", "16")
+        assert "VBR feasibility" in out
+
+    def test_failover(self, capsys):
+        out = run(capsys, "failover", "--terminals", "1",
+                  "--ring-nodes", "8")
+        assert "after_wrap" in out
+
+    def test_csv_mode_has_no_table_art(self, capsys):
+        out = run(capsys, "--csv", "vbr", "--mbs", "1")
+        assert "|" not in out
+        assert out.startswith("mbs_per_node,max_load")

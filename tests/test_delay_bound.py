@@ -1,0 +1,223 @@
+"""Worst-case queueing analysis (Algorithm 4.1) unit tests."""
+
+import math
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.bitstream import BitStream
+from repro.core.delay_bound import (
+    ServiceCurve,
+    backlog_bound_with_higher,
+    delay_at,
+    delay_bound,
+    departure_time,
+    is_stable,
+)
+from repro.core.traffic import VBRParameters, cbr
+from repro.exceptions import BitStreamError
+
+
+def stream(*pairs):
+    return BitStream([r for r, _ in pairs], [t for _, t in pairs])
+
+
+VBR = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+
+
+class TestServiceCurve:
+    def test_no_interference_is_identity(self):
+        curve = ServiceCurve(None)
+        assert curve.value(5) == 5
+        assert curve.inverse(3) == 3
+        assert curve.tail_rate == 1
+
+    def test_unfiltered_interferer_rejected(self):
+        with pytest.raises(BitStreamError, match="filtered"):
+            ServiceCurve(stream((2, 0)))
+
+    def test_value_accumulates_leftover(self):
+        # Higher priority takes the full link for 4 time units.
+        curve = ServiceCurve(stream((1, 0), (F(1, 2), 4)))
+        assert curve.value(2) == 0
+        assert curve.value(4) == 0
+        assert curve.value(8) == 2
+
+    def test_inverse_of_value(self):
+        curve = ServiceCurve(stream((1, 0), (F(1, 2), 4)))
+        for amount in (F(1, 2), 1, 3):
+            assert curve.value(curve.inverse(amount)) == amount
+
+    def test_inverse_is_sup_inverse_over_plateau(self):
+        # Service is withheld until t=4; the right plateau edge is what
+        # bounds the wait of a bit arriving just after t=0.
+        curve = ServiceCurve(stream((1, 0), (F(1, 2), 4)))
+        assert curve.inverse(0) == 4
+        # Without any plateau the inverse starts at zero.
+        assert ServiceCurve(None).inverse(0) == 0
+
+    def test_inverse_unreachable_is_inf(self):
+        curve = ServiceCurve(stream((1, 0)))     # link held forever
+        assert curve.inverse(F(1, 2)) == math.inf
+
+    def test_negative_inputs_rejected(self):
+        curve = ServiceCurve(None)
+        with pytest.raises(ValueError):
+            curve.value(-1)
+        with pytest.raises(ValueError):
+            curve.inverse(-1)
+
+
+class TestStability:
+    def test_stable_below_capacity(self):
+        assert is_stable(stream((F(1, 2), 0)))
+
+    def test_stable_at_exact_capacity(self):
+        assert is_stable(stream((1, 0)))
+
+    def test_unstable_above_capacity(self):
+        assert not is_stable(stream((2, 0)))
+
+    def test_interference_counts(self):
+        arrivals = stream((F(1, 2), 0))
+        assert is_stable(arrivals, stream((F(1, 2), 0)))
+        assert not is_stable(arrivals, stream((F(3, 4), 0)))
+
+
+class TestHighestPriorityBound:
+    """With no higher priority the bound equals the backlog drain time."""
+
+    def test_zero_stream(self):
+        assert delay_bound(BitStream.zero()) == 0
+
+    def test_no_overload_no_delay(self):
+        assert delay_bound(stream((1, 0), (F(1, 2), 1))) == 0
+
+    def test_equals_backlog(self):
+        aggregate = VBR.worst_case_stream().scaled(3)
+        assert delay_bound(aggregate) == aggregate.backlog_bound()
+
+    def test_unstable_is_inf(self):
+        assert delay_bound(stream((2, 0))) == math.inf
+
+    def test_hand_computed_aggregate(self):
+        # Two in-links each deliver rate 1 for 2 time units, then silence:
+        # 4 bits arrive while only 2 can leave; the last bit waits 2.
+        aggregate = stream((2, 0), (F(1, 100), 2))
+        assert delay_bound(aggregate) == 2
+
+
+class TestPriorityBound:
+    def test_hand_computed_with_interference(self):
+        # Higher priority (filtered) occupies the link fully until 33/4,
+        # then leaves 4/5 of it.  Hand-computed worst delay is 17/2 at
+        # the t=1 breakpoint (see the smoke derivation in DESIGN review).
+        arrivals = VBR.worst_case_stream()
+        higher = VBR.worst_case_stream().scaled(2).filtered()
+        assert delay_bound(arrivals, higher) == F(17, 2)
+
+    def test_interference_only_delays(self):
+        arrivals = VBR.worst_case_stream()
+        alone = delay_bound(arrivals)
+        with_higher = delay_bound(
+            arrivals, cbr(F(1, 4)).worst_case_stream().filtered())
+        assert with_higher >= alone
+
+    def test_more_interference_more_delay(self):
+        arrivals = VBR.worst_case_stream()
+        small = delay_bound(arrivals, cbr(F(1, 8)).worst_case_stream())
+        large = delay_bound(
+            arrivals, cbr(F(1, 4)).worst_case_stream().scaled(2).filtered())
+        assert large >= small
+
+    def test_unstable_combination_is_inf(self):
+        arrivals = stream((F(1, 2), 0))
+        higher = stream((F(3, 4), 0))
+        assert delay_bound(arrivals, higher) == math.inf
+
+    def test_saturating_interferer_with_idle_arrivals(self):
+        # Arrivals stop (rate 0 tail) but the interferer holds the link
+        # forever before the backlog clears: infinite delay.
+        arrivals = stream((1, 0), (0, 2))          # 2 bits then silence
+        higher = stream((1, 0))                     # full link forever
+        assert delay_bound(arrivals, higher) == math.inf
+
+    def test_interferer_plateau_then_service(self):
+        # Interferer full-rate until t=4; 1 bit arriving at 0 leaves at 5.
+        arrivals = stream((F(1, 100), 0))
+        higher = stream((1, 0), (0, 4))
+        d = delay_bound(arrivals, higher)
+        # A bit arriving just after t=0 waits out the whole plateau.
+        assert d == 4
+
+    def test_exact_capacity_equality_finite(self):
+        # Long-run arrival + interference exactly 1: delay plateaus.
+        arrivals = stream((F(1, 2), 0))
+        higher = stream((F(1, 2), 0))
+        assert delay_bound(arrivals, higher) == 0
+        # Burst of 2 extra bits served at leftover rate 1/2: the bit at
+        # t=2 has A=2 arrivals, served by C(t)=t/2 at t=4 -> delay 2,
+        # and the tail slope is zero, so the bound plateaus at 2.
+        bursty = stream((1, 0), (F(1, 2), 2))
+        assert delay_bound(bursty, higher) == 2
+
+
+class TestDelayDiagnostics:
+    def test_delay_at_matches_bound(self):
+        arrivals = VBR.worst_case_stream()
+        higher = VBR.worst_case_stream().scaled(2).filtered()
+        bound = delay_bound(arrivals, higher)
+        assert delay_at(arrivals, higher, 1) == bound
+
+    def test_departure_never_before_arrival(self):
+        curve = ServiceCurve(None)
+        arrivals = stream((F(1, 10), 0))
+        for t in (0, 1, 5, 50):
+            assert departure_time(arrivals, curve, t) >= t
+
+    def test_delay_at_far_future_decays(self):
+        arrivals = VBR.worst_case_stream()
+        higher = VBR.worst_case_stream().scaled(2).filtered()
+        assert delay_at(arrivals, higher, 1000) < delay_bound(arrivals, higher)
+
+
+class TestBacklogWithHigher:
+    def test_zero_stream(self):
+        assert backlog_bound_with_higher(BitStream.zero()) == 0
+
+    def test_matches_simple_backlog_without_interference(self):
+        aggregate = VBR.worst_case_stream().scaled(3)
+        assert backlog_bound_with_higher(aggregate) == aggregate.backlog_bound()
+
+    def test_interference_grows_backlog(self):
+        arrivals = VBR.worst_case_stream().scaled(2)
+        higher = cbr(F(1, 4)).worst_case_stream().filtered()
+        assert backlog_bound_with_higher(arrivals, higher) >= \
+            backlog_bound_with_higher(arrivals)
+
+    def test_unstable_is_inf(self):
+        assert backlog_bound_with_higher(
+            stream((F(3, 4), 0)), stream((F(1, 2), 0))) == math.inf
+
+    def test_hand_computed(self):
+        # Arrivals 1/2, interferer 1/2 until t=4 then 0: net backlog 0;
+        # with interferer at full rate until 4: backlog = 2.
+        arrivals = stream((F(1, 2), 0), (0, 4))
+        assert backlog_bound_with_higher(arrivals, stream((1, 0), (0, 4))) == 2
+
+
+class TestBoundIsAchievable:
+    """The bound must be tight for the canonical single-queue case.
+
+    For the highest priority with aggregate S, the paper's bound is the
+    maximum backlog; fluid traffic following the envelope exactly makes
+    the last bit of the busy period wait exactly that long.
+    """
+
+    def test_fluid_tightness(self):
+        aggregate = VBR.worst_case_stream().scaled(3)
+        bound = delay_bound(aggregate)
+        # The bit arriving at the peak-backlog instant waits bound.
+        peak_time = 1 + VBR.burst_duration
+        backlog = aggregate.bits(peak_time) - peak_time
+        assert backlog == bound

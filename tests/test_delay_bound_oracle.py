@@ -1,0 +1,116 @@
+"""Cross-check Algorithm 4.1 against a brute-force fluid oracle.
+
+The oracle knows nothing of the closed form: it discretizes time, sums
+the arrival and leftover-service curves numerically, and finds each
+fluid bit's departure by linear search over the cumulative service.
+The analytic bound must match the oracle's maximum delay to within the
+grid resolution on every generated configuration.
+"""
+
+import math
+from fractions import Fraction as F
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitstream import BitStream, aggregate
+from repro.core.delay_bound import delay_bound
+from repro.core.traffic import VBRParameters
+
+
+def oracle_delay_bound(stream: BitStream, higher: BitStream,
+                       horizon: float, step: float = 0.01) -> float:
+    """Brute-force worst-case delay by fluid simulation on a grid."""
+    grid = np.arange(0.0, horizon, step)
+    arrival_rate = np.array([float(stream.rate_at(t)) for t in grid])
+    service_rate = np.clip(
+        1.0 - np.array([float(higher.rate_at(t)) for t in grid]),
+        0.0, None)
+    arrivals = np.concatenate([[0.0], np.cumsum(arrival_rate) * step])
+    service = np.concatenate([[0.0], np.cumsum(service_rate) * step])
+    # For each arrival instant, find the departure instant.
+    indices = np.searchsorted(service, arrivals, side="left")
+    finite = indices < len(grid)
+    delays = np.where(
+        finite,
+        np.minimum(indices, len(grid) - 1) * step
+        - np.arange(len(arrivals)) * step,
+        np.inf,
+    )
+    worst = float(np.max(delays[: len(grid)]))
+    return max(worst, 0.0)
+
+
+def horizon_for(stream: BitStream, higher: BitStream) -> float:
+    """A horizon safely past every breakpoint and busy period."""
+    last = max(stream.times[-1], higher.times[-1])
+    return float(last) + 80.0
+
+
+@st.composite
+def stable_scenarios(draw):
+    """A (stream, filtered interferer) pair with a finite bound."""
+    def make_params(max_scr_inverse):
+        pcr = F(1, draw(st.integers(min_value=2, max_value=4)))
+        scr = pcr / draw(st.integers(min_value=4, max_value=max_scr_inverse))
+        mbs = draw(st.integers(min_value=1, max_value=5))
+        return VBRParameters(pcr=pcr, scr=scr, mbs=mbs)
+
+    copies = draw(st.integers(min_value=1, max_value=3))
+    cdvs = draw(st.lists(
+        st.integers(min_value=0, max_value=20),
+        min_size=copies, max_size=copies))
+    parts = [
+        make_params(12).worst_case_stream().delayed(cdv)
+        for cdv in cdvs
+    ]
+    stream = aggregate(parts)
+    if draw(st.booleans()):
+        higher = make_params(12).worst_case_stream().delayed(
+            draw(st.integers(min_value=0, max_value=16))).filtered()
+    else:
+        higher = BitStream.zero()
+    return stream, higher
+
+
+@given(stable_scenarios())
+@settings(max_examples=25, deadline=None)
+def test_algorithm_41_matches_fluid_oracle(scenario):
+    stream, higher = scenario
+    bound = delay_bound(stream, higher)
+    if bound == math.inf:
+        assert stream.long_run_rate + higher.long_run_rate >= 1
+        return
+    step = 0.01
+    numeric = oracle_delay_bound(
+        stream, higher, horizon_for(stream, higher), step)
+    # Grid resolution costs up to a few steps on each curve.
+    assert numeric <= float(bound) + 5 * step
+    assert numeric >= float(bound) - 5 * step
+
+
+class TestOracleKnownCases:
+    def test_simple_backlog(self):
+        # 2 bits arrive instantly-ish; served at rate 1: delay 2.
+        stream = BitStream([2, F(1, 100)], [0, 2])
+        bound = float(delay_bound(stream))
+        numeric = oracle_delay_bound(
+            stream, BitStream.zero(), horizon=60.0)
+        assert numeric == pytest.approx(bound, abs=0.05)
+
+    def test_with_plateau_interferer(self):
+        stream = BitStream([F(1, 10)], [0])
+        higher = BitStream([1, 0], [0, 4])
+        bound = float(delay_bound(stream, higher))
+        numeric = oracle_delay_bound(stream, higher, horizon=40.0)
+        assert numeric == pytest.approx(bound, abs=0.05)
+
+    def test_worked_example_from_paper_model(self):
+        vbr = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        stream = vbr.worst_case_stream()
+        higher = vbr.worst_case_stream().scaled(2).filtered()
+        bound = float(delay_bound(stream, higher))   # known: 17/2
+        numeric = oracle_delay_bound(stream, higher, horizon=80.0)
+        assert numeric == pytest.approx(bound, abs=0.05)
+        assert bound == pytest.approx(8.5)

@@ -1,0 +1,45 @@
+"""Run the doctest examples embedded in the library's docstrings.
+
+The examples in docstrings are part of the documented contract; this
+harness keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.capacity
+import repro.analysis.report
+import repro.analysis.sweep
+import repro.core.bitstream
+import repro.core.server
+import repro.core.switch_cac
+import repro.core.traffic
+import repro.network.topology
+import repro.sim.engine
+import repro.sim.gcra
+import repro.units
+
+MODULES = [
+    repro.units,
+    repro.core.bitstream,
+    repro.core.traffic,
+    repro.core.switch_cac,
+    repro.core.server,
+    repro.network.topology,
+    repro.sim.engine,
+    repro.sim.gcra,
+    repro.analysis.capacity,
+    repro.analysis.report,
+    repro.analysis.sweep,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda module: module.__name__)
+def test_module_doctests(module):
+    flags = doctest.ELLIPSIS | doctest.IGNORE_EXCEPTION_DETAIL
+    result = doctest.testmod(module, optionflags=flags, verbose=False)
+    assert result.failed == 0, (
+        f"{result.failed} doctest failure(s) in {module.__name__}"
+    )

@@ -1,0 +1,106 @@
+"""The EDF comparison port."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import EdfPort, Engine, ScheduleSource, SimSwitch
+from repro.sim.cell import Cell
+
+
+def make_port(engine, delivered, budgets=None, default=None):
+    return EdfPort(engine, "edf", delivered.append,
+                   budgets=budgets, default_budget=default)
+
+
+class TestEdfOrdering:
+    def test_tight_deadline_jumps_queue(self):
+        engine = Engine()
+        delivered = []
+        port = make_port(engine, delivered,
+                         budgets={"loose": 100.0, "tight": 2.0})
+        # Three loose cells queue up, then a tight one arrives.
+        engine.schedule(0.0, lambda: port.receive(Cell("loose", 0, 0.0)))
+        engine.schedule(0.0, lambda: port.receive(Cell("loose", 1, 0.0)))
+        engine.schedule(0.0, lambda: port.receive(Cell("loose", 2, 0.0)))
+        engine.schedule(0.5, lambda: port.receive(Cell("tight", 0, 0.5)))
+        engine.run()
+        order = [(c.connection, c.sequence) for c in delivered]
+        assert order == [("loose", 0), ("tight", 0),
+                         ("loose", 1), ("loose", 2)]
+
+    def test_fifo_within_equal_deadlines(self):
+        engine = Engine()
+        delivered = []
+        port = make_port(engine, delivered, default=10.0)
+        for seq in range(3):
+            engine.schedule(0.0, lambda seq=seq: port.receive(
+                Cell("vc", seq, 0.0)))
+        engine.run()
+        assert [c.sequence for c in delivered] == [0, 1, 2]
+
+    def test_waits_recorded(self):
+        engine = Engine()
+        delivered = []
+        port = make_port(engine, delivered, default=10.0)
+        engine.schedule(0.0, lambda: port.receive(Cell("vc", 0, 0.0)))
+        engine.schedule(0.0, lambda: port.receive(Cell("vc", 1, 0.0)))
+        engine.run()
+        assert [c.hop_waits[0] for c in delivered] == [0.0, 1.0]
+
+
+class TestBudgets:
+    def test_missing_budget_rejected(self):
+        engine = Engine()
+        port = make_port(engine, [])
+        with pytest.raises(SimulationError, match="no delay budget"):
+            port.receive(Cell("ghost", 0, 0.0))
+
+    def test_default_budget_applies(self):
+        engine = Engine()
+        port = make_port(engine, [], budgets={"a": 5.0}, default=50.0)
+        assert port.budget_for("a") == 5.0
+        assert port.budget_for("anything") == 50.0
+
+    def test_deadline_miss_counted(self):
+        engine = Engine()
+        delivered = []
+        port = make_port(engine, delivered, default=1.0)
+        # Two simultaneous cells with 1-cell budgets: the second cannot
+        # finish by its deadline (non-preemptive unit service).
+        engine.schedule(0.0, lambda: port.receive(Cell("vc", 0, 0.0)))
+        engine.schedule(0.0, lambda: port.receive(Cell("vc", 1, 0.0)))
+        engine.run()
+        assert port.deadline_misses == 1
+
+
+class TestIntegrationWithSwitch:
+    def test_custom_port_on_switch(self):
+        engine = Engine()
+        delivered = []
+        switch = SimSwitch(engine, "sw")
+        switch.add_custom_port("out", EdfPort(
+            engine, "sw:out", delivered.append, default_budget=20.0))
+        switch.set_forwarding("vc", "out", 0)
+        ScheduleSource(engine, "vc", [0.0, 0.3], switch.receive)
+        engine.run()
+        assert len(delivered) == 2
+        assert switch.port("out").transmitted == 2
+
+    def test_duplicate_custom_port_rejected(self):
+        engine = Engine()
+        switch = SimSwitch(engine, "sw")
+        switch.add_port("out", lambda cell: None)
+        with pytest.raises(SimulationError, match="already"):
+            switch.add_custom_port("out", object())
+
+    def test_depth_tracking(self):
+        engine = Engine()
+        port = make_port(engine, [], default=10.0)
+        for seq in range(4):
+            engine.schedule(0.0, lambda seq=seq: port.receive(
+                Cell("vc", seq, 0.0)))
+        engine.run(until=0.0)
+        # The first cell enters service immediately; three remain queued.
+        assert port.peak_depth == 3
+        engine.run()
+        assert port.depth == 0

@@ -1,0 +1,108 @@
+"""EnvelopeSource: replaying worst-case envelopes cell by cell.
+
+These tests double as the tightness demonstration: the discrete
+adversary built from the analysis's own envelope drives a simulated
+port to *exactly* the computed worst-case delay.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core import aggregate, cbr, delay_bound
+from repro.core.bitstream import BitStream
+from repro.core.traffic import VBRParameters, worst_case_cell_times
+from repro.sim import Engine, EnvelopeSource, SimSwitch, envelope_cell_times
+
+
+class TestEnvelopeCellTimes:
+    def test_source_envelope_matches_greedy_schedule(self):
+        """Replaying the Alg 2.1 envelope = the eq. (1) greedy source."""
+        params = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        replay = envelope_cell_times(params.worst_case_stream(), 8)
+        greedy = worst_case_cell_times(params, 8)
+        assert replay == pytest.approx(greedy)
+
+    def test_cbr_envelope(self):
+        times = envelope_cell_times(cbr(F(1, 4)).worst_case_stream(), 4)
+        assert times == pytest.approx([0, 4, 8, 12])
+
+    def test_clumped_envelope_is_earlier(self):
+        base = cbr(F(1, 4)).worst_case_stream()
+        clumped = base.delayed(12)
+        early = envelope_cell_times(clumped, 6)
+        late = envelope_cell_times(base, 6)
+        assert all(a <= b + 1e-9 for a, b in zip(early, late))
+
+    def test_never_negative(self):
+        clumped = cbr(F(1, 2)).worst_case_stream().delayed(40)
+        assert all(t >= 0 for t in envelope_cell_times(clumped, 20))
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            envelope_cell_times(cbr(0.5).worst_case_stream(), -1)
+
+    def test_exhausted_envelope_rejected(self):
+        finite = BitStream([1, 0], [0, 3])   # only 3 cells ever
+        assert len(envelope_cell_times(finite, 3)) == 3
+        with pytest.raises(ValueError, match="delivers only"):
+            envelope_cell_times(finite, 4)
+
+    def test_discrete_process_dominated_by_envelope(self):
+        params = VBRParameters(pcr=F(1, 2), scr=F(1, 8), mbs=5)
+        envelope = params.worst_case_stream().delayed(17)
+        times = envelope_cell_times(envelope, 30)
+
+        def discrete_bits(t):
+            return sum(min(1.0, max(0.0, t - start)) for start in times)
+
+        probes = [i * 0.41 for i in range(300)]
+        for t in probes:
+            assert float(envelope.bits(t)) >= discrete_bits(t) - 1e-9
+
+
+class TestTightness:
+    """The headline: discrete adversaries achieve the analytic bound."""
+
+    def _drive_port(self, streams, cells=40):
+        engine = Engine()
+        delivered = []
+        switch = SimSwitch(engine, "sw")
+        switch.add_port("out", delivered.append)
+        for index, stream in enumerate(streams):
+            switch.set_forwarding(f"vc{index}", "out", 0)
+            EnvelopeSource(engine, f"vc{index}", stream, cells,
+                           switch.receive)
+        engine.run()
+        return max(cell.hop_waits[0] for cell in delivered)
+
+    def test_clumped_cbr_collision_is_exact(self):
+        streams = [
+            cbr(F(1, 4)).worst_case_stream().delayed(24).filtered()
+            for _ in range(3)
+        ]
+        worst = self._drive_port(streams)
+        bound = float(delay_bound(aggregate(streams)))
+        assert worst == pytest.approx(bound)
+
+    def test_vbr_burst_collision_is_nearly_exact(self):
+        params = VBRParameters(pcr=F(1, 2), scr=F(1, 16), mbs=6)
+        streams = [params.worst_case_stream().filtered()
+                   for _ in range(2)]
+        worst = self._drive_port(streams, cells=60)
+        bound = float(delay_bound(aggregate(streams)))
+        assert worst <= bound + 1e-9
+        # Discretization can cost at most one cell of slack.
+        assert worst >= bound - 1.0
+
+    def test_never_exceeds_bound(self):
+        mixes = [
+            [cbr(F(1, 8)).worst_case_stream().delayed(10)] * 4,
+            [VBRParameters(pcr=F(1, 2), scr=F(1, 12), mbs=4)
+             .worst_case_stream().delayed(cdv).filtered()
+             for cdv in (0, 8, 24)],
+        ]
+        for streams in mixes:
+            worst = self._drive_port(list(streams), cells=50)
+            bound = float(delay_bound(aggregate(streams)))
+            assert worst <= bound + 1e-9

@@ -1,0 +1,34 @@
+"""Every example script must run to completion as a subprocess.
+
+Examples double as integration tests of the public API surface; a
+broken example means broken documentation.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_all_examples_discovered():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "rtnet_cyclic.py", "vbr_bursty_plant.py",
+            "jitter_motivation.py", "soft_vs_hard.py",
+            "central_server.py"} <= names

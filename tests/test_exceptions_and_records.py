@@ -1,0 +1,98 @@
+"""Exception attributes and connection-record arithmetic."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.traffic import cbr
+from repro.exceptions import (
+    AdmissionError,
+    BitStreamError,
+    QosUnsatisfiable,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    SwitchRejection,
+    TopologyError,
+    TrafficModelError,
+    UnstableSystemError,
+)
+from repro.network.connection import (
+    ConnectionRequest,
+    EstablishedConnection,
+    HopCommitment,
+)
+from repro.network.routing import shortest_path
+from repro.network.topology import line_network
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (TrafficModelError, BitStreamError, UnstableSystemError,
+                    AdmissionError, SwitchRejection, QosUnsatisfiable,
+                    RoutingError, TopologyError, SimulationError):
+            assert issubclass(exc, ReproError)
+
+    def test_value_errors_also_catchable_as_valueerror(self):
+        for exc in (TrafficModelError, BitStreamError, RoutingError,
+                    TopologyError):
+            assert issubclass(exc, ValueError)
+
+    def test_switch_rejection_attributes(self):
+        err = SwitchRejection("sw1", "out", 2, 99.5, 32)
+        assert err.switch == "sw1"
+        assert err.out_link == "out"
+        assert err.priority == 2
+        assert err.computed_bound == 99.5
+        assert err.advertised_bound == 32
+        assert "sw1" in str(err) and "99.5" in str(err)
+
+    def test_qos_unsatisfiable_attributes(self):
+        err = QosUnsatisfiable(100, 150)
+        assert err.requested == 100
+        assert err.achievable == 150
+        assert "100" in str(err)
+
+
+@pytest.fixture
+def route():
+    net = line_network(3, bounds={0: 32}, terminals_per_switch=1)
+    return shortest_path(net, "t0.0", "t2.0")
+
+
+class TestConnectionRequest:
+    def test_validation(self, route):
+        with pytest.raises(TrafficModelError):
+            ConnectionRequest("x", cbr(F(1, 4)), route, delay_bound=0)
+        with pytest.raises(TrafficModelError):
+            ConnectionRequest("x", cbr(F(1, 4)), route, priority=-1)
+
+    def test_defaults(self, route):
+        request = ConnectionRequest("x", cbr(F(1, 4)), route)
+        assert request.priority == 0
+        assert request.delay_bound is None
+
+
+class TestEstablishedConnection:
+    def _established(self, route):
+        request = ConnectionRequest("x", cbr(F(1, 4)), route)
+        hops = tuple(
+            HopCommitment(
+                switch=f"s{index}", in_link="a", out_link="b",
+                cdv_in=index * 32, advertised_bound=32,
+                computed_bound=5 + index,
+            )
+            for index in range(3)
+        )
+        return EstablishedConnection(request, hops)
+
+    def test_e2e_bound_sums_advertised(self, route):
+        assert self._established(route).e2e_bound == 96
+
+    def test_e2e_computed_sums_computed(self, route):
+        assert self._established(route).e2e_computed_bound == 5 + 6 + 7
+
+    def test_name_and_repr(self, route):
+        established = self._established(route)
+        assert established.name == "x"
+        assert "hops=3" in repr(established)

@@ -1,0 +1,104 @@
+"""Dual leaky-bucket shaping/policing tests."""
+
+import pytest
+
+from repro.core.traffic import VBRParameters, cbr, worst_case_cell_times
+from repro.sim.gcra import DualLeakyBucket, bucket_depth
+
+
+VBR = VBRParameters(pcr=0.5, scr=0.1, mbs=4)
+
+
+class TestBucketDepth:
+    def test_cbr_depth_is_one(self):
+        assert bucket_depth(cbr(0.25)) == 1.0
+
+    def test_vbr_depth_formula(self):
+        # 1 + (4-1) * (1 - 0.2) = 3.4
+        assert bucket_depth(VBR) == pytest.approx(3.4)
+
+    def test_mbs_one_depth_is_one(self):
+        assert bucket_depth(VBRParameters(pcr=0.5, scr=0.1, mbs=1)) == 1.0
+
+
+class TestGreedyBehaviour:
+    def test_greedy_matches_figure_1(self):
+        """Greedy emission through the bucket = MBS at PCR, then SCR."""
+        bucket = DualLeakyBucket(VBR)
+        emissions = [bucket.emit_earliest(0.0) for _ in range(7)]
+        expected = worst_case_cell_times(VBR, 7)
+        assert emissions == pytest.approx(expected)
+
+    def test_cbr_greedy_is_periodic(self):
+        bucket = DualLeakyBucket(cbr(0.25))
+        emissions = [bucket.emit_earliest(0.0) for _ in range(4)]
+        assert emissions == pytest.approx([0, 4, 8, 12])
+
+    def test_idle_refills_up_to_depth(self):
+        bucket = DualLeakyBucket(VBR)
+        for _ in range(4):
+            bucket.emit_earliest(0.0)
+        assert bucket.tokens < 1.0
+        # A long idle period restores the full burst allowance.
+        start = bucket.earliest_conforming(1000.0)
+        assert start == 1000.0
+        assert bucket.tokens == pytest.approx(bucket_depth(VBR))
+
+
+class TestConformance:
+    def test_early_second_cell_rejected(self):
+        bucket = DualLeakyBucket(VBR)
+        bucket.record_emission(0.0)
+        assert not bucket.conforms(1.0)       # < 1/PCR = 2 apart
+        assert bucket.conforms(2.0)
+
+    def test_burst_beyond_mbs_rejected(self):
+        bucket = DualLeakyBucket(VBR)
+        for index in range(4):
+            bucket.record_emission(index * 2.0)
+        # A fifth peak-spaced cell must not conform (tokens exhausted).
+        assert not bucket.conforms(8.0)
+
+    def test_nonconforming_emission_raises(self):
+        bucket = DualLeakyBucket(VBR)
+        bucket.record_emission(0.0)
+        with pytest.raises(ValueError, match="violates"):
+            bucket.record_emission(0.5)
+
+    def test_time_backwards_rejected_by_policer(self):
+        bucket = DualLeakyBucket(VBR)
+        bucket.record_emission(10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            bucket.conforms(5.0)
+
+    def test_earliest_conforming_clamps_stale_now(self):
+        # Shaper callers may ask from an earlier wall clock; the answer
+        # is still measured from the bucket's own clock.
+        bucket = DualLeakyBucket(VBR)
+        bucket.record_emission(10.0)
+        assert bucket.earliest_conforming(0.0) == pytest.approx(12.0)
+
+    def test_policer_is_stateless_check(self):
+        bucket = DualLeakyBucket(VBR)
+        before = bucket.tokens
+        bucket.conforms(0.0)
+        assert bucket.tokens == before
+
+
+class TestShapedStreamBoundedByEnvelope:
+    def test_any_greedy_prefix_within_envelope(self):
+        """Cells emitted through the bucket never outrun Algorithm 2.1.
+
+        The discrete cell process (each cell arriving over one cell
+        time) must stay below the continuous envelope at all probes.
+        """
+        envelope = VBR.worst_case_stream()
+        bucket = DualLeakyBucket(VBR)
+        emissions = [bucket.emit_earliest(0.0) for _ in range(25)]
+
+        def discrete_bits(t):
+            return sum(min(1.0, max(0.0, t - start)) for start in emissions)
+
+        probes = [i * 0.37 for i in range(400)]
+        for t in probes:
+            assert envelope.bits(t) >= discrete_bits(t) - 1e-9

@@ -1,0 +1,148 @@
+"""Property-based tests for the admission-control layer.
+
+Random admit/release interleavings and random workloads; the invariants
+are the ones DESIGN.md promises:
+
+* incremental switch state always equals a from-scratch rebuild;
+* everything admitted keeps every advertised bound;
+* release is a perfect inverse of admit;
+* the network-level walk is all-or-nothing under rejection.
+"""
+
+from fractions import Fraction as F
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.switch_cac import SwitchCAC
+from repro.core.traffic import VBRParameters
+from repro.exceptions import AdmissionError
+from repro.network.connection import ConnectionRequest
+from repro.network.routing import shortest_path
+from repro.network.topology import line_network
+
+
+@st.composite
+def traffic_descriptors(draw):
+    pcr_den = draw(st.integers(min_value=2, max_value=16))
+    scr_scale = draw(st.integers(min_value=2, max_value=16))
+    mbs = draw(st.integers(min_value=1, max_value=6))
+    pcr = F(1, pcr_den)
+    return VBRParameters(pcr=pcr, scr=pcr / scr_scale, mbs=mbs)
+
+
+@st.composite
+def switch_actions(draw, max_actions=12):
+    """A random interleaving of admits and releases."""
+    actions = []
+    alive = []
+    count = draw(st.integers(min_value=1, max_value=max_actions))
+    for index in range(count):
+        release = alive and draw(st.booleans())
+        if release:
+            victim = alive.pop(draw(st.integers(
+                min_value=0, max_value=len(alive) - 1)))
+            actions.append(("release", victim, None, None, None))
+        else:
+            name = f"vc{index}"
+            in_link = f"in{draw(st.integers(min_value=0, max_value=2))}"
+            priority = draw(st.integers(min_value=0, max_value=1))
+            params = draw(traffic_descriptors())
+            cdv = draw(st.integers(min_value=0, max_value=64))
+            actions.append(("admit", name, in_link, priority,
+                            (params, cdv)))
+            alive.append(name)
+    return actions
+
+
+@given(switch_actions())
+@settings(max_examples=40, deadline=None)
+def test_switch_state_never_drifts(actions):
+    switch = SwitchCAC("sw")
+    switch.configure_link("out", {0: 10_000, 1: 10_000})
+    admitted = set()
+    for action in actions:
+        kind, name, in_link, priority, extra = action
+        if kind == "admit":
+            params, cdv = extra
+            stream = params.worst_case_stream().delayed(cdv)
+            try:
+                switch.admit(name, in_link, "out", priority, stream)
+                admitted.add(name)
+            except AdmissionError:
+                pass
+        else:
+            if name in admitted:
+                switch.release(name)
+                admitted.discard(name)
+    assert switch.verify_consistency()
+    assert set(switch.legs) == admitted
+
+
+@given(switch_actions())
+@settings(max_examples=40, deadline=None)
+def test_admitted_traffic_keeps_advertised_bounds(actions):
+    switch = SwitchCAC("sw")
+    bounds = {0: 500, 1: 2000}
+    switch.configure_link("out", bounds)
+    for action in actions:
+        kind, name, in_link, priority, extra = action
+        if kind == "admit":
+            params, cdv = extra
+            try:
+                switch.admit(name, in_link, "out", priority,
+                             params.worst_case_stream().delayed(cdv))
+            except AdmissionError:
+                continue
+        elif name in switch.legs:
+            switch.release(name)
+        for level, limit in bounds.items():
+            assert switch.computed_bound("out", level) <= limit
+
+
+@given(traffic_descriptors(), traffic_descriptors(),
+       st.integers(min_value=0, max_value=32))
+@settings(max_examples=40, deadline=None)
+def test_release_is_inverse_of_admit(first, second, cdv):
+    switch = SwitchCAC("sw")
+    switch.configure_link("out", {0: 10_000})
+    switch.admit("base", "in0", "out", 0, first.worst_case_stream())
+    baseline = switch.sia("in0", "out", 0)
+    bound_before = switch.computed_bound("out", 0)
+
+    stream = second.worst_case_stream().delayed(cdv)
+    try:
+        switch.admit("guest", "in1", "out", 0, stream)
+    except AdmissionError:
+        return
+    switch.release("guest")
+    assert switch.sia("in0", "out", 0) == baseline
+    assert switch.sia("in1", "out", 0).is_zero
+    assert switch.computed_bound("out", 0) == bound_before
+
+
+@given(st.lists(traffic_descriptors(), min_size=1, max_size=6),
+       st.integers(min_value=0, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_network_walk_is_all_or_nothing(descriptors, reject_seed):
+    net = line_network(3, bounds={0: 64}, terminals_per_switch=3)
+    from repro.core.admission import NetworkCAC
+    cac = NetworkCAC(net)
+    for index, params in enumerate(descriptors):
+        src = f"t0.{index % 3}"
+        dst = f"t2.{(index + reject_seed) % 3}"
+        request = ConnectionRequest(
+            f"vc{index}", params, shortest_path(net, src, dst))
+        expectation = cac.would_admit(request)
+        try:
+            cac.setup(request)
+            outcome = True
+        except AdmissionError:
+            outcome = False
+        assert outcome == expectation
+        if not outcome:
+            assert f"vc{index}" not in cac.established
+            for switch_name in ("s0", "s1", "s2"):
+                assert f"vc{index}" not in cac.switch(switch_name).legs
+    # Every switch's incremental state matches ground truth at the end.
+    for switch_name in ("s0", "s1", "s2"):
+        assert cac.switch(switch_name).verify_consistency()

@@ -1,0 +1,60 @@
+"""Property test: the two evaluation paths agree on random workloads.
+
+The figure sweeps trust the closed-form :class:`RingAnalysis`; the
+ground truth is the incremental :class:`NetworkCAC` walk.  Deterministic
+spot checks live in ``test_rtnet_evaluation.py``; here hypothesis draws
+arbitrary small ring workloads (mixed CBR/VBR, arbitrary placement) and
+the per-link bounds must match exactly.
+"""
+
+from fractions import Fraction as F
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.traffic import VBRParameters
+from repro.exceptions import AdmissionError
+from repro.rtnet import RingAnalysis, establish_workload, ring_node
+
+
+@st.composite
+def ring_workloads(draw):
+    ring_nodes = draw(st.integers(min_value=3, max_value=5))
+    terminals = draw(st.integers(min_value=1, max_value=2))
+    count = draw(st.integers(min_value=1,
+                             max_value=ring_nodes * terminals))
+    placements = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=ring_nodes - 1),
+                  st.integers(min_value=0, max_value=terminals - 1)),
+        min_size=count, max_size=count, unique=True))
+    workload = {}
+    for node, slot in placements:
+        pcr = F(1, draw(st.integers(min_value=4, max_value=8)))
+        scr = pcr / draw(st.integers(min_value=4, max_value=10))
+        mbs = draw(st.integers(min_value=1, max_value=4))
+        workload[(node, slot)] = (
+            VBRParameters(pcr=pcr, scr=scr, mbs=mbs), 0)
+    return workload, ring_nodes, terminals
+
+
+@given(ring_workloads())
+@settings(max_examples=15, deadline=None)
+def test_direct_equals_procedural(case):
+    workload, ring_nodes, terminals = case
+    analysis = RingAnalysis(workload, ring_nodes, node_bound=10_000)
+    try:
+        cac, _established = establish_workload(
+            workload, ring_nodes, terminals, node_bound=10_000)
+    except AdmissionError:
+        # Only possible if some bound is infinite; the direct path must
+        # agree that the workload is infeasible at *some* link.
+        assert any(
+            analysis.link_bound(link, 0) == float("inf")
+            for link in range(ring_nodes)
+        ) or sum(float(p.scr) for p, _q in workload.values()) >= 1
+        return
+    for link in range(ring_nodes):
+        name = f"ring{link}->ring{(link + 1) % ring_nodes}"
+        direct = float(analysis.link_bound(link, 0))
+        procedural = float(
+            cac.switch(ring_node(link)).computed_bound(name, 0))
+        assert abs(direct - procedural) < 1e-9

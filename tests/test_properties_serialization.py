@@ -1,0 +1,88 @@
+"""Property-based round-trips for the serialization layer."""
+
+import json
+from fractions import Fraction as F
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.traffic import VBRParameters
+from repro.network.serialization import (
+    network_from_dict,
+    network_to_dict,
+    number_from_json,
+    number_to_json,
+    traffic_from_dict,
+    traffic_to_dict,
+)
+from repro.network.topology import Network
+
+
+numbers = st.one_of(
+    st.integers(min_value=0, max_value=10**9),
+    st.floats(min_value=0, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+    st.fractions(min_value=0, max_value=1000, max_denominator=10**6),
+)
+
+
+@given(numbers)
+def test_number_round_trip(value):
+    encoded = number_to_json(value)
+    json.dumps(encoded)
+    assert number_from_json(encoded) == value
+
+
+@st.composite
+def traffic_descriptors(draw):
+    pcr = draw(st.fractions(min_value=F(1, 64), max_value=1,
+                            max_denominator=64))
+    scr = pcr / draw(st.integers(min_value=1, max_value=32))
+    mbs = draw(st.integers(min_value=1, max_value=100))
+    return VBRParameters(pcr=pcr, scr=scr, mbs=mbs)
+
+
+@given(traffic_descriptors())
+def test_traffic_round_trip(params):
+    data = traffic_to_dict(params)
+    json.dumps(data)
+    assert traffic_from_dict(data) == params
+
+
+@st.composite
+def random_networks(draw):
+    net = Network()
+    switches = draw(st.integers(min_value=1, max_value=5))
+    terminals = draw(st.integers(min_value=0, max_value=4))
+    for index in range(switches):
+        net.add_switch(f"s{index}")
+    for index in range(terminals):
+        net.add_terminal(f"t{index}")
+        net.add_link(f"t{index}", f"s{index % switches}")
+    pairs = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=switches - 1),
+                  st.integers(min_value=0, max_value=switches - 1)),
+        max_size=6, unique=True))
+    for a, b in pairs:
+        if a == b:
+            continue
+        name = f"s{a}->s{b}"
+        if name in net:
+            continue
+        bound = draw(st.integers(min_value=1, max_value=512))
+        net.add_link(f"s{a}", f"s{b}", bounds={0: bound})
+    return net
+
+
+@given(random_networks())
+@settings(max_examples=30, deadline=None)
+def test_network_round_trip(net):
+    data = network_to_dict(net)
+    json.dumps(data)
+    rebuilt = network_from_dict(data)
+    assert sorted(n.name for n in rebuilt.nodes()) == \
+        sorted(n.name for n in net.nodes())
+    for link in net.links():
+        twin = rebuilt.link(link.name)
+        assert (twin.src, twin.dst) == (link.src, link.dst)
+        assert twin.capacity == link.capacity
+        assert dict(twin.bounds) == dict(link.bounds)

@@ -1,0 +1,75 @@
+"""ASCII table / plot / CSV rendering."""
+
+import math
+
+from repro.analysis.report import ascii_plot, render_series, render_table, to_csv
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [100, 0.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "|" in lines[0]
+        assert lines[2].split("|")[0].strip() == "1"
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[1.0], [0.123456], [math.inf]])
+        assert "1" in out
+        assert "0.1235" in out
+        assert "inf" in out
+
+    def test_bool_formatting(self):
+        out = render_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_rows(self):
+        out = render_series("curve", [(0.1, 5.0), (0.2, 10.0)])
+        assert out.startswith("curve:")
+        assert "0.1" in out and "10" in out
+
+
+class TestAsciiPlot:
+    def test_plots_points(self):
+        out = ascii_plot({"s": [(0, 0), (1, 1)]}, width=10, height=5)
+        assert "*" in out
+        assert "legend: *=s" in out
+
+    def test_multiple_series_get_markers(self):
+        out = ascii_plot({
+            "a": [(0, 0), (1, 1)],
+            "b": [(0, 1), (1, 0)],
+        }, width=10, height=5)
+        assert "*=a" in out and "o=b" in out
+
+    def test_infinities_skipped(self):
+        out = ascii_plot({"s": [(0, math.inf), (1, 2.0)]},
+                         width=10, height=5)
+        assert "inf" not in out.splitlines()[0] or "2" in out
+
+    def test_all_infinite_is_graceful(self):
+        assert "no finite data" in ascii_plot(
+            {"s": [(0, math.inf)]}, width=10, height=5)
+
+    def test_constant_series(self):
+        out = ascii_plot({"s": [(0, 5.0), (1, 5.0)]}, width=10, height=5)
+        assert "*" in out
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        out = to_csv(["x", "y"], [[1, 2.5], [3, 4.0]])
+        lines = out.splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == "3,4"

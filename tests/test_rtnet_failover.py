@@ -1,0 +1,77 @@
+"""Ring wrap-around after a single failure: the real-time cost."""
+
+import pytest
+
+from repro.exceptions import TrafficModelError
+from repro.rtnet import (
+    RingAnalysis,
+    failover_capacity,
+    symmetric_workload,
+    wrapped_analysis,
+    wrapped_ring_size,
+    wrapped_workload,
+)
+
+
+class TestWrappedRingSize:
+    def test_formula(self):
+        assert wrapped_ring_size(16) == 30
+        assert wrapped_ring_size(3) == 4
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            wrapped_ring_size(2)
+
+
+class TestWrappedWorkload:
+    def test_keys_preserved(self):
+        workload = symmetric_workload(0.4, 4, 2)
+        wrapped = wrapped_workload(workload, 4)
+        assert wrapped == workload
+
+    def test_out_of_range_node_rejected(self):
+        workload = {(7, 0): next(iter(
+            symmetric_workload(0.4, 8, 1).values()))}
+        with pytest.raises(TrafficModelError):
+            wrapped_workload(workload, 4)
+
+
+class TestWrappedAnalysis:
+    def test_transit_only_positions_carry_traffic(self):
+        """Secondary ports see transit streams even with no terminals."""
+        workload = symmetric_workload(0.4, 4, 1)
+        analysis = wrapped_analysis(workload, 4)
+        # Position 4 (a secondary port) is crossed by broadcasts.
+        assert not analysis.arrival_stream(4, 0).is_zero
+
+    def test_wrapped_bounds_dominate_healthy(self):
+        workload = symmetric_workload(0.4, 6, 2)
+        healthy = RingAnalysis(workload, 6)
+        wrapped = wrapped_analysis(workload, 6)
+        assert wrapped.worst_e2e_bound(0) > healthy.worst_e2e_bound(0)
+
+    def test_wrapped_route_length(self):
+        # e2e bound sums 2R-3 links on the wrapped cycle.
+        workload = symmetric_workload(0.3, 4, 1)
+        analysis = wrapped_analysis(workload, 4)
+        total = sum(analysis.link_bound((0 + j) % 6, 0) for j in range(5))
+        assert analysis.e2e_bound(0, 0) == total
+
+
+class TestFailoverCapacity:
+    def test_failure_costs_capacity(self):
+        healthy, wrapped = failover_capacity(
+            4, ring_nodes=8, tolerance=1 / 32)
+        assert 0 < wrapped < healthy
+
+    def test_cost_is_bounded(self):
+        # The wrap roughly doubles the hop count; capacity should drop
+        # but not collapse (the deadline has slack at moderate N).
+        healthy, wrapped = failover_capacity(
+            1, ring_nodes=8, tolerance=1 / 32)
+        assert wrapped > healthy * 0.4
+
+    def test_monotone_in_terminals(self):
+        one = failover_capacity(1, ring_nodes=8, tolerance=1 / 32)
+        many = failover_capacity(8, ring_nodes=8, tolerance=1 / 32)
+        assert many[1] <= one[1]

@@ -1,0 +1,163 @@
+"""RTnet constants, Table 1 classes, topology and workload generators."""
+
+import pytest
+
+from repro.exceptions import TopologyError, TrafficModelError
+from repro.rtnet import (
+    CYCLIC_QUEUE_CELLS,
+    HIGH_SPEED,
+    HIGH_SPEED_DELAY_CELLS,
+    LOW_SPEED,
+    MEDIUM_SPEED,
+    NODE_DELAY_MICROSECONDS,
+    TABLE_1,
+    asymmetric_workload,
+    broadcast_route,
+    build_rtnet,
+    required_bandwidth_mbps,
+    ring_node,
+    symmetric_workload,
+    terminal_name,
+)
+
+
+class TestConstants:
+    def test_node_delay_is_about_87_microseconds(self):
+        # Paper: "a 32-cell FIFO queue represents a maximum of
+        # 32 x 2.7 = 87 microseconds of queueing delay at each node".
+        assert NODE_DELAY_MICROSECONDS == pytest.approx(87, abs=1)
+
+    def test_high_speed_deadline_is_about_370_cells(self):
+        assert HIGH_SPEED_DELAY_CELLS == pytest.approx(370, abs=5)
+
+    def test_queue_size(self):
+        assert CYCLIC_QUEUE_CELLS == 32
+
+
+class TestTable1:
+    """The cyclic transmission classes and their bandwidth arithmetic."""
+
+    @pytest.mark.parametrize("cls, expected", [
+        (HIGH_SPEED, 32.0),
+        (MEDIUM_SPEED, 17.5),
+        (LOW_SPEED, 6.8),
+    ])
+    def test_bandwidth_column(self, cls, expected):
+        assert required_bandwidth_mbps(cls) == pytest.approx(
+            expected, rel=0.15)
+
+    def test_periods_equal_delays(self):
+        # In Table 1 every class's deadline equals its period.
+        for cls in TABLE_1.values():
+            assert cls.period_ms == cls.delay_ms
+
+    def test_normalized_rates_fit_one_link(self):
+        total = sum(cls.normalized_rate() for cls in TABLE_1.values())
+        assert 0 < total < 1
+
+    def test_delay_cell_times(self):
+        assert HIGH_SPEED.delay_cell_times() == pytest.approx(367, abs=2)
+        assert MEDIUM_SPEED.delay_cell_times() == pytest.approx(
+            30 * 367, rel=0.01)
+
+    def test_table_keys(self):
+        assert set(TABLE_1) == {"high speed", "medium speed", "low speed"}
+
+
+class TestTopology:
+    def test_reference_configuration(self):
+        net = build_rtnet(16, 16)
+        assert sum(1 for _ in net.switches()) == 16
+        assert sum(1 for _ in net.terminals()) == 256
+
+    def test_ring_links_have_cyclic_bounds(self):
+        net = build_rtnet(4, 1)
+        link = net.find_link(ring_node(0), ring_node(1))
+        assert link.bounds == {0: 32}
+
+    def test_access_links_have_no_bounds(self):
+        net = build_rtnet(4, 1)
+        assert net.find_link(terminal_name(2, 0), ring_node(2)).bounds == {}
+
+    def test_custom_bounds(self):
+        net = build_rtnet(4, 1, bounds={0: 16, 1: 64})
+        link = net.find_link(ring_node(1), ring_node(2))
+        assert link.bounds == {0: 16, 1: 64}
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            build_rtnet(1, 1)
+        with pytest.raises(TopologyError):
+            build_rtnet(4, 0)
+
+    def test_broadcast_route_circles_the_ring(self):
+        net = build_rtnet(6, 2)
+        route = broadcast_route(net, 2, 1)
+        assert route.source == terminal_name(2, 1)
+        assert len(route) == 6            # access link + 5 ring links
+        assert len(route.hops()) == 5
+        assert route.destination == ring_node(1)   # one short of origin
+
+
+class TestSymmetricWorkload:
+    def test_equal_shares(self):
+        w = symmetric_workload(0.8, 4, 2)
+        assert len(w) == 8
+        rates = {params.pcr for params, _p in w.values()}
+        assert rates == {0.1}
+
+    def test_total_load_preserved(self):
+        w = symmetric_workload(0.64, 4, 4)
+        total = sum(params.scr for params, _p in w.values())
+        assert total == pytest.approx(0.64)
+
+    def test_priority_assignment(self):
+        w = symmetric_workload(0.5, 2, 1, priority=3)
+        assert all(p == 3 for _t, p in w.values())
+
+    def test_load_validation(self):
+        with pytest.raises(TrafficModelError):
+            symmetric_workload(0.0, 4, 2)
+        with pytest.raises(TrafficModelError):
+            symmetric_workload(1.5, 4, 2)
+
+
+class TestAsymmetricWorkload:
+    def test_hot_terminal_share(self):
+        w = asymmetric_workload(0.5, 0.4, 4, 2)
+        hot, _p = w[(0, 0)]
+        assert hot.pcr == pytest.approx(0.2)
+        others = [params.pcr for key, (params, _q) in w.items()
+                  if key != (0, 0)]
+        assert len(others) == 7
+        assert all(rate == pytest.approx(0.3 / 7) for rate in others)
+
+    def test_total_load_preserved(self):
+        w = asymmetric_workload(0.6, 0.25, 4, 2)
+        total = sum(params.scr for params, _p in w.values())
+        assert total == pytest.approx(0.6)
+
+    def test_extreme_fractions(self):
+        all_hot = asymmetric_workload(0.5, 1.0, 4, 2)
+        assert list(all_hot) == [(0, 0)]
+        no_hot = asymmetric_workload(0.5, 0.0, 4, 2)
+        assert (0, 0) not in no_hot
+        assert len(no_hot) == 7
+
+    def test_hot_placement(self):
+        w = asymmetric_workload(0.5, 0.5, 4, 2, hot_node=3, hot_slot=1)
+        hot, _p = w[(3, 1)]
+        assert hot.pcr == pytest.approx(0.25)
+
+    def test_per_priority_assignment(self):
+        w = asymmetric_workload(0.5, 0.5, 4, 2,
+                                hot_priority=1, other_priority=0)
+        assert w[(0, 0)][1] == 1
+        assert w[(1, 0)][1] == 0
+
+    def test_infeasible_hot_rate_rejected(self):
+        # p=1 with load 1 is fine (rate 1); but fraction validation holds.
+        with pytest.raises(TrafficModelError):
+            asymmetric_workload(0.5, 1.5, 4, 2)
+        with pytest.raises(TrafficModelError):
+            asymmetric_workload(0.0, 0.5, 4, 2)

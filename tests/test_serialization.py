@@ -1,0 +1,121 @@
+"""JSON-safe round-trips of numbers, contracts, topologies, requests."""
+
+import json
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.traffic import VBRParameters, cbr
+from repro.network.connection import ConnectionRequest
+from repro.network.routing import shortest_path
+from repro.network.serialization import (
+    SerializationError,
+    network_from_dict,
+    network_to_dict,
+    number_from_json,
+    number_to_json,
+    request_from_dict,
+    request_to_dict,
+    traffic_from_dict,
+    traffic_to_dict,
+)
+from repro.network.topology import line_network, ring_network
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("value", [0, 3, 0.25, F(1, 3), F(7, 2)])
+    def test_round_trip(self, value):
+        encoded = number_to_json(value)
+        json.dumps(encoded)   # must be JSON-safe
+        assert number_from_json(encoded) == value
+
+    def test_fraction_is_exact(self):
+        assert number_from_json(number_to_json(F(1, 3))) == F(1, 3)
+
+    def test_bad_rational_rejected(self):
+        with pytest.raises(SerializationError):
+            number_from_json("one/third")
+        with pytest.raises(SerializationError):
+            number_from_json("1/0")
+
+
+class TestTraffic:
+    def test_vbr_round_trip(self):
+        params = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        data = traffic_to_dict(params)
+        json.dumps(data)
+        assert traffic_from_dict(data) == params
+
+    def test_cbr_round_trip(self):
+        params = cbr(0.25)
+        assert traffic_from_dict(traffic_to_dict(params)) == params
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(SerializationError, match="missing"):
+            traffic_from_dict({"pcr": 0.5})
+
+
+class TestNetwork:
+    def test_round_trip_preserves_structure(self):
+        original = ring_network(4, bounds={0: 32, 1: 64},
+                                terminals_per_switch=2)
+        data = network_to_dict(original)
+        json.dumps(data)
+        rebuilt = network_from_dict(data)
+        assert sorted(n.name for n in rebuilt.nodes()) == \
+            sorted(n.name for n in original.nodes())
+        assert sorted(l.name for l in rebuilt.links()) == \
+            sorted(l.name for l in original.links())
+        link = rebuilt.find_link("s0", "s1")
+        assert link.bounds == {0: 32, 1: 64}
+
+    def test_round_trip_preserves_kinds(self):
+        rebuilt = network_from_dict(network_to_dict(
+            line_network(2, bounds={0: 32}, terminals_per_switch=1)))
+        assert rebuilt.node("s0").is_switch
+        assert rebuilt.node("t0.0").is_terminal
+
+    def test_fraction_bounds_survive(self):
+        from repro.network.topology import Network
+        net = Network()
+        net.add_switch("a")
+        net.add_switch("b")
+        net.add_link("a", "b", bounds={0: F(3, 2)})
+        rebuilt = network_from_dict(network_to_dict(net))
+        assert rebuilt.find_link("a", "b").bounds == {0: F(3, 2)}
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(SerializationError):
+            network_from_dict({"nodes": [{"name": "x"}]})
+
+
+class TestRequest:
+    def test_round_trip(self):
+        net = line_network(3, bounds={0: 32}, terminals_per_switch=1)
+        request = ConnectionRequest(
+            "vc0", VBRParameters(pcr=F(1, 2), scr=F(1, 8), mbs=3),
+            shortest_path(net, "t0.0", "t2.0"),
+            priority=0, delay_bound=F(100))
+        data = request_to_dict(request)
+        json.dumps(data)
+        rebuilt = request_from_dict(data, net)
+        assert rebuilt.name == request.name
+        assert rebuilt.traffic == request.traffic
+        assert rebuilt.route == request.route
+        assert rebuilt.delay_bound == F(100)
+
+    def test_no_delay_bound(self):
+        net = line_network(2, bounds={0: 32}, terminals_per_switch=1)
+        request = ConnectionRequest(
+            "vc0", cbr(0.25), shortest_path(net, "t0.0", "t1.0"))
+        rebuilt = request_from_dict(request_to_dict(request), net)
+        assert rebuilt.delay_bound is None
+
+    def test_route_validated_against_network(self):
+        small = line_network(2, bounds={0: 32}, terminals_per_switch=1)
+        big = line_network(3, bounds={0: 32}, terminals_per_switch=1)
+        request = ConnectionRequest(
+            "vc0", cbr(0.25), shortest_path(big, "t0.0", "t2.0"))
+        from repro.exceptions import TopologyError
+        with pytest.raises(TopologyError):
+            request_from_dict(request_to_dict(request), small)

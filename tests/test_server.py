@@ -1,0 +1,190 @@
+"""The central CAC server: decisions, plans, audit trail, persistence."""
+
+import json
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.server import CacServer
+from repro.core.traffic import cbr
+from repro.exceptions import AdmissionError, ReproError
+from repro.network.connection import ConnectionRequest
+from repro.network.routing import shortest_path
+from repro.network.topology import line_network, star_network
+
+
+@pytest.fixture
+def net():
+    return star_network(4, bounds={0: 32})
+
+
+def request_for(net, name, rate=F(1, 8), src="t0", dst="t3"):
+    return ConnectionRequest(name, cbr(rate), shortest_path(net, src, dst))
+
+
+class TestDecisions:
+    def test_admission_decision(self, net):
+        server = CacServer(net)
+        decision = server.request_setup(request_for(net, "vc0"))
+        assert decision.admitted
+        assert decision.e2e_bound == 32
+        assert "vc0" in server.established
+
+    def test_refusal_is_a_decision_not_an_exception(self, net):
+        server = CacServer(net)
+        server.request_setup(request_for(net, "big", rate=F(3, 4)))
+        decision = server.request_setup(
+            request_for(net, "toobig", rate=F(1, 2), src="t1"))
+        assert not decision.admitted
+        assert "rejected" in decision.reason
+        assert "toobig" not in server.established
+
+    def test_duplicate_name_refused(self, net):
+        server = CacServer(net)
+        server.request_setup(request_for(net, "vc0"))
+        decision = server.request_setup(request_for(net, "vc0", src="t1"))
+        assert not decision.admitted
+        assert "already" in decision.reason
+
+    def test_teardown(self, net):
+        server = CacServer(net)
+        server.request_setup(request_for(net, "vc0"))
+        server.request_teardown("vc0")
+        assert server.established == {}
+
+    def test_teardown_unknown_raises(self, net):
+        with pytest.raises(AdmissionError):
+            CacServer(net).request_teardown("ghost")
+
+
+class TestAudit:
+    def test_log_records_lifecycle(self, net):
+        server = CacServer(net)
+        server.request_setup(request_for(net, "vc0"))
+        server.request_setup(request_for(net, "huge", rate=F(99, 100),
+                                         src="t1"))
+        server.request_teardown("vc0")
+        actions = [(entry.action, entry.connection)
+                   for entry in server.audit_log]
+        assert actions == [
+            ("setup", "vc0"), ("reject", "huge"), ("teardown", "vc0")]
+
+    def test_sequence_monotone(self, net):
+        server = CacServer(net)
+        for index in range(3):
+            server.request_setup(request_for(net, f"vc{index}",
+                                             src=f"t{index}"))
+        sequences = [entry.sequence for entry in server.audit_log]
+        assert sequences == sorted(sequences)
+
+
+class TestPlans:
+    def test_feasible_plan_reports_bounds(self, net):
+        server = CacServer(net)
+        report = server.plan([
+            request_for(net, "a"),
+            request_for(net, "b", src="t1"),
+        ])
+        assert report.feasible
+        assert all(d.admitted for d in report.decisions)
+        assert server.established == {}    # dry run
+
+    def test_infeasible_plan_pinpoints_failure(self, net):
+        server = CacServer(net)
+        report = server.plan([
+            request_for(net, "a", rate=F(3, 4)),
+            request_for(net, "b", rate=F(1, 2), src="t1"),
+        ])
+        assert not report.feasible
+        assert report.decisions[0].admitted
+        assert not report.decisions[1].admitted
+        assert server.established == {}
+
+    def test_plan_sees_committed_state(self, net):
+        server = CacServer(net)
+        server.request_setup(request_for(net, "existing", rate=F(3, 4)))
+        report = server.plan([request_for(net, "new", rate=F(1, 2),
+                                          src="t1")])
+        assert not report.feasible
+
+    def test_commit_plan_all_or_nothing(self, net):
+        server = CacServer(net)
+        decisions = server.commit_plan([
+            request_for(net, "a", rate=F(3, 4)),
+            request_for(net, "b", rate=F(1, 2), src="t1"),
+        ])
+        assert server.established == {}
+        assert not decisions[-1].admitted
+
+    def test_commit_plan_success(self, net):
+        server = CacServer(net)
+        decisions = server.commit_plan([
+            request_for(net, "a"),
+            request_for(net, "b", src="t1"),
+        ])
+        assert all(d.admitted for d in decisions)
+        assert set(server.established) == {"a", "b"}
+
+
+class TestPersistence:
+    def test_snapshot_restore_round_trip(self, net):
+        server = CacServer(net)
+        server.request_setup(request_for(net, "a"))
+        server.request_setup(request_for(net, "b", src="t1"))
+        payload = server.snapshot_json()
+        json.loads(payload)   # valid JSON
+
+        fresh = CacServer(net)
+        fresh.restore_json(payload)
+        assert set(fresh.established) == {"a", "b"}
+        # The restored state reproduces the same computed bounds.
+        assert fresh.port_report() == server.port_report()
+
+    def test_restore_requires_empty_server(self, net):
+        server = CacServer(net)
+        server.request_setup(request_for(net, "a"))
+        payload = server.snapshot()
+        with pytest.raises(ReproError, match="empty"):
+            server.restore(payload)
+
+    def test_restore_unwinds_on_failure(self, net):
+        # Snapshot from a permissive network cannot be restored onto a
+        # loaded one; nothing may leak.
+        donor = CacServer(net)
+        donor.request_setup(request_for(net, "a", rate=F(3, 4)))
+        payload = donor.snapshot()
+
+        crowded_net = star_network(4, bounds={0: 32})
+        crowded = CacServer(crowded_net)
+        crowded.request_setup(ConnectionRequest(
+            "hog", cbr(F(1, 2)), shortest_path(crowded_net, "t1", "t3")))
+        snapshot_with_both = {
+            "connections": payload["connections"] * 1
+        }
+        # Make it infeasible by doubling the big connection.
+        snapshot_with_both["connections"] = [
+            dict(payload["connections"][0]),
+            dict(payload["connections"][0], name="a2"),
+        ]
+        crowded.request_teardown("hog")
+        with pytest.raises(AdmissionError):
+            crowded.restore(snapshot_with_both)
+        assert crowded.established == {}
+
+    def test_snapshot_preserves_exact_contracts(self, net):
+        server = CacServer(net)
+        server.request_setup(request_for(net, "a", rate=F(1, 3)))
+        fresh = CacServer(net)
+        fresh.restore(server.snapshot())
+        established = fresh.established["a"]
+        assert established.request.traffic.pcr == F(1, 3)
+
+    def test_multihop_snapshot(self):
+        line = line_network(3, bounds={0: 32}, terminals_per_switch=1)
+        server = CacServer(line)
+        server.request_setup(ConnectionRequest(
+            "far", cbr(F(1, 8)), shortest_path(line, "t0.0", "t2.0")))
+        fresh = CacServer(line)
+        fresh.restore(server.snapshot())
+        assert fresh.established["far"].e2e_bound == \
+            server.established["far"].e2e_bound

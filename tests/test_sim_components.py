@@ -1,0 +1,306 @@
+"""Queues, ports, switches, sources, jitter stages -- component tests."""
+
+import pytest
+
+from repro.core.traffic import VBRParameters, cbr, worst_case_cell_times
+from repro.exceptions import SimulationError
+from repro.sim.cell import Cell
+from repro.sim.engine import Engine
+from repro.sim.jitter import ClumpingJitter, FixedJitter
+from repro.sim.metrics import Metrics
+from repro.sim.queues import PriorityFifo
+from repro.sim.sources import (
+    CbrSource,
+    GreedyVbrSource,
+    RandomVbrSource,
+    ScheduleSource,
+)
+from repro.sim.switch import SimSwitch
+
+
+def make_cell(name="vc", seq=0, at=0.0):
+    return Cell(name, seq, at)
+
+
+class TestPriorityFifo:
+    def test_fifo_within_priority(self):
+        fifo = PriorityFifo()
+        for seq in range(3):
+            fifo.push(make_cell(seq=seq), 0, float(seq))
+        popped = [fifo.pop()[0].sequence for _ in range(3)]
+        assert popped == [0, 1, 2]
+
+    def test_priority_order(self):
+        fifo = PriorityFifo()
+        fifo.push(make_cell("low"), 2, 0.0)
+        fifo.push(make_cell("high"), 0, 0.0)
+        fifo.push(make_cell("mid"), 1, 0.0)
+        assert [fifo.pop()[0].connection for _ in range(3)] == \
+            ["high", "mid", "low"]
+
+    def test_pop_empty_is_none(self):
+        assert PriorityFifo().pop() is None
+
+    def test_capacity_and_drops(self):
+        fifo = PriorityFifo(capacities={0: 2})
+        assert fifo.push(make_cell(seq=0), 0, 0.0)
+        assert fifo.push(make_cell(seq=1), 0, 0.0)
+        assert not fifo.push(make_cell(seq=2), 0, 0.0)
+        assert fifo.drops(0) == 1
+        assert fifo.total_drops() == 1
+        assert fifo.depth(0) == 2
+
+    def test_capacity_per_priority(self):
+        fifo = PriorityFifo(capacities={0: 1})
+        fifo.push(make_cell(), 0, 0.0)
+        # Priority 1 has no declared capacity: unbounded.
+        for seq in range(5):
+            assert fifo.push(make_cell(seq=seq), 1, 0.0)
+
+    def test_peak_depth_tracking(self):
+        fifo = PriorityFifo()
+        for seq in range(4):
+            fifo.push(make_cell(seq=seq), 0, 0.0)
+        fifo.pop()
+        fifo.push(make_cell(seq=9), 0, 0.0)
+        assert fifo.peak_depth(0) == 4
+
+    def test_is_empty(self):
+        fifo = PriorityFifo()
+        assert fifo.is_empty
+        fifo.push(make_cell(), 0, 0.0)
+        assert not fifo.is_empty
+
+
+class TestSwitchAndPort:
+    def _switch_with_sink(self, engine, capacities=None):
+        delivered = []
+        switch = SimSwitch(engine, "sw")
+        switch.add_port("out", delivered.append, capacities)
+        return switch, delivered
+
+    def test_forwarding_and_transmission(self):
+        engine = Engine()
+        switch, delivered = self._switch_with_sink(engine)
+        switch.set_forwarding("vc", "out", 0)
+        engine.schedule(5.0, lambda: switch.receive(make_cell(at=5.0)))
+        engine.run()
+        assert len(delivered) == 1
+        assert engine.now == 6.0            # one cell time to transmit
+        assert delivered[0].hop_waits == [0.0]
+
+    def test_queueing_wait_recorded(self):
+        engine = Engine()
+        switch, delivered = self._switch_with_sink(engine)
+        switch.set_forwarding("vc", "out", 0)
+        # Two cells arrive back to back: the second waits 1 cell time.
+        engine.schedule(0.0, lambda: switch.receive(make_cell(seq=0)))
+        engine.schedule(0.0, lambda: switch.receive(make_cell(seq=1)))
+        engine.run()
+        assert [cell.hop_waits[0] for cell in delivered] == [0.0, 1.0]
+
+    def test_priority_preemption_of_queue_order(self):
+        engine = Engine()
+        switch, delivered = self._switch_with_sink(engine)
+        switch.set_forwarding("lo", "out", 1)
+        switch.set_forwarding("hi", "out", 0)
+        # Three low cells arrive, then a high cell during service of the
+        # first: the high cell must jump the remaining low cells.
+        engine.schedule(0.0, lambda: switch.receive(make_cell("lo", 0)))
+        engine.schedule(0.0, lambda: switch.receive(make_cell("lo", 1)))
+        engine.schedule(0.0, lambda: switch.receive(make_cell("lo", 2)))
+        engine.schedule(0.5, lambda: switch.receive(make_cell("hi", 0)))
+        engine.run()
+        order = [(cell.connection, cell.sequence) for cell in delivered]
+        assert order == [("lo", 0), ("hi", 0), ("lo", 1), ("lo", 2)]
+
+    def test_unknown_connection_raises(self):
+        engine = Engine()
+        switch, _ = self._switch_with_sink(engine)
+        with pytest.raises(SimulationError, match="forwarding"):
+            switch.receive(make_cell("ghost"))
+
+    def test_duplicate_port_rejected(self):
+        engine = Engine()
+        switch, _ = self._switch_with_sink(engine)
+        with pytest.raises(SimulationError, match="already"):
+            switch.add_port("out", lambda cell: None)
+
+    def test_forwarding_to_missing_port_rejected(self):
+        engine = Engine()
+        switch, _ = self._switch_with_sink(engine)
+        with pytest.raises(SimulationError, match="no port"):
+            switch.set_forwarding("vc", "ghost", 0)
+
+    def test_full_queue_drops(self):
+        engine = Engine()
+        switch, delivered = self._switch_with_sink(
+            engine, capacities={0: 1})
+        switch.set_forwarding("vc", "out", 0)
+        for seq in range(4):
+            engine.schedule(
+                0.0, lambda seq=seq: switch.receive(make_cell(seq=seq)))
+        engine.run()
+        # One in service + one queued; two dropped.
+        assert len(delivered) == 2
+        assert switch.port("out").queue.total_drops() == 2
+
+    def test_port_counts_transmissions(self):
+        engine = Engine()
+        switch, _ = self._switch_with_sink(engine)
+        switch.set_forwarding("vc", "out", 0)
+        for seq in range(3):
+            engine.schedule(
+                float(seq), lambda seq=seq: switch.receive(make_cell(seq=seq)))
+        engine.run()
+        assert switch.port("out").transmitted == 3
+
+
+class TestSources:
+    def test_schedule_source(self):
+        engine = Engine()
+        got = []
+        ScheduleSource(engine, "vc", [0.0, 2.5, 7.0], got.append)
+        engine.run()
+        assert [cell.emitted_at for cell in got] == [0.0, 2.5, 7.0]
+        assert [cell.sequence for cell in got] == [0, 1, 2]
+
+    def test_cbr_source_periodic(self):
+        engine = Engine()
+        got = []
+        CbrSource(engine, "vc", 0.25, got.append, phase=1.0, until=14.0)
+        engine.run()
+        assert [cell.emitted_at for cell in got] == [1.0, 5.0, 9.0, 13.0]
+
+    def test_cbr_source_validation(self):
+        with pytest.raises(ValueError):
+            CbrSource(Engine(), "vc", 0.0, lambda c: None)
+        with pytest.raises(ValueError):
+            CbrSource(Engine(), "vc", 0.5, lambda c: None,
+                      phase=5.0, until=1.0)
+
+    def test_greedy_vbr_matches_schedule(self):
+        engine = Engine()
+        got = []
+        params = VBRParameters(pcr=0.5, scr=0.1, mbs=3)
+        GreedyVbrSource(engine, "vc", params, 5, got.append)
+        engine.run()
+        assert [cell.emitted_at for cell in got] == \
+            pytest.approx(worst_case_cell_times(params, 5))
+
+    def test_random_vbr_conforms(self):
+        """Whatever the randomness, emissions respect the contract."""
+        from repro.sim.gcra import DualLeakyBucket
+        engine = Engine()
+        got = []
+        params = VBRParameters(pcr=0.5, scr=0.05, mbs=4)
+        RandomVbrSource(engine, "vc", params, got.append,
+                        until=3000.0, seed=7)
+        engine.run()
+        assert len(got) > 10
+        police = DualLeakyBucket(params)
+        for cell in got:
+            assert police.conforms(cell.emitted_at)
+            police.record_emission(cell.emitted_at)
+
+    def test_random_vbr_reproducible(self):
+        def run(seed):
+            engine = Engine()
+            got = []
+            params = VBRParameters(pcr=0.5, scr=0.05, mbs=4)
+            RandomVbrSource(engine, "vc", params, got.append,
+                            until=1000.0, seed=seed)
+            engine.run()
+            return [cell.emitted_at for cell in got]
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+class TestJitter:
+    def test_fixed_jitter_shifts(self):
+        engine = Engine()
+        got = []
+        stage = FixedJitter(engine, 5.0,
+                            lambda cell: got.append(engine.now))
+        engine.schedule(2.0, lambda: stage.receive(make_cell()))
+        engine.run()
+        assert got == [7.0]
+
+    def test_fixed_jitter_validation(self):
+        with pytest.raises(ValueError):
+            FixedJitter(Engine(), -1.0, lambda cell: None)
+
+    def test_clumping_releases_at_window_end(self):
+        engine = Engine()
+        got = []
+        stage = ClumpingJitter(engine, 10.0,
+                               lambda cell: got.append(engine.now))
+        for t in (1.0, 4.0, 9.0):
+            engine.schedule(t, lambda: stage.receive(make_cell()))
+        engine.run()
+        assert got == [10.0, 11.0, 12.0]   # clumped back-to-back
+
+    def test_clumping_bounded_by_cdv(self):
+        engine = Engine()
+        arrivals, releases = [], []
+        stage = ClumpingJitter(engine, 8.0,
+                               lambda cell: releases.append(engine.now))
+        for index in range(10):
+            t = index * 3.0
+            arrivals.append(t)
+            engine.schedule(t, lambda: stage.receive(make_cell()))
+        engine.run()
+        lags = [release - arrival
+                for arrival, release in zip(arrivals, releases)]
+        assert all(0 <= lag <= 8.0 + 1e-9 for lag in lags)
+
+    def test_clumping_preserves_order(self):
+        engine = Engine()
+        got = []
+        stage = ClumpingJitter(
+            engine, 4.0, lambda cell: got.append(cell.sequence))
+        for seq in range(8):
+            engine.schedule(
+                seq * 1.0, lambda seq=seq: stage.receive(make_cell(seq=seq)))
+        engine.run()
+        assert got == sorted(got)
+
+    def test_clumping_validation(self):
+        with pytest.raises(ValueError):
+            ClumpingJitter(Engine(), 0.0, lambda cell: None)
+
+
+class TestMetrics:
+    def test_records_and_aggregates(self):
+        metrics = Metrics()
+        cell = make_cell("vc")
+        cell.hop_waits.extend([1.0, 2.5])
+        metrics.record(cell)
+        other = make_cell("vc", seq=1)
+        other.hop_waits.extend([0.5, 5.0])
+        metrics.record(other)
+        stats = metrics.stats("vc")
+        assert stats.delivered == 2
+        assert stats.max_e2e_delay == 5.5
+        assert stats.mean_e2e_delay == pytest.approx((3.5 + 5.5) / 2)
+        assert stats.max_hop_waits == [1.0, 5.0]
+
+    def test_unknown_connection_is_zero(self):
+        stats = Metrics().stats("ghost")
+        assert stats.delivered == 0
+        assert stats.mean_e2e_delay == 0.0
+
+    def test_worst_e2e_across_connections(self):
+        metrics = Metrics()
+        a = make_cell("a")
+        a.hop_waits.append(3.0)
+        b = make_cell("b")
+        b.hop_waits.append(7.0)
+        metrics.record(a)
+        metrics.record(b)
+        assert metrics.worst_e2e_delay() == 7.0
+        assert metrics.total_delivered() == 2
+        assert metrics.connections() == ["a", "b"]
+
+    def test_empty_metrics(self):
+        assert Metrics().worst_e2e_delay() == 0.0

@@ -1,0 +1,106 @@
+"""Discrete-event engine unit tests."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = Engine()
+        fired = []
+        for tag in "abc":
+            engine.schedule(5.0, lambda tag=tag: fired.append(tag))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(4.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [4.5]
+        assert engine.now == 4.5
+
+    def test_schedule_in(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(2.0, lambda: engine.schedule_in(
+            3.0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [5.0]
+
+    def test_past_scheduling_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError, match="past"):
+            engine.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_in(-1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_until_horizon(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_event_exactly_at_horizon_fires(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append(5))
+        engine.run(until=5.0)
+        assert fired == [5]
+
+    def test_cancellation(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_peek_next_time_skips_cancelled(self):
+        engine = Engine()
+        first = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        first.cancel()
+        assert engine.peek_next_time() == 2.0
+
+    def test_peek_empty(self):
+        assert Engine().peek_next_time() is None
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for t in (1.0, 2.0):
+            engine.schedule(t, lambda: None)
+        engine.run()
+        assert engine.events_processed == 2
+
+    def test_runaway_guard(self):
+        engine = Engine()
+
+        def rearm():
+            engine.schedule_in(0.1, rearm)
+        engine.schedule(0.0, rearm)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(until=1e12, max_events=100)

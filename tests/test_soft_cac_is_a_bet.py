@@ -1,0 +1,89 @@
+"""The hard/soft trade-off, demonstrated: soft bounds are not worst-case.
+
+Section 4.3 discussion 1 is explicit that summation is the only true
+worst case and that square-root accumulation is a probabilistic bet for
+*soft* real time.  These tests make the trade-off concrete with the
+envelope-replay adversary:
+
+* traffic clumped by the full (hard) upstream CDV stays within the
+  HARD bound -- always;
+* the same traffic can exceed the SOFT bound, because soft CDV assumed
+  less clumping than the adversary delivered.
+
+This is the honest counterpart of Figure 13: the extra capacity soft
+CAC admits is paid for with guarantees that an adversarial (if
+improbable) jitter pattern can break.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core import aggregate, cbr, delay_bound
+from repro.core.accumulation import HARD, SOFT
+from repro.sim import Engine, EnvelopeSource, SimSwitch
+
+NODE_BOUND = 32
+UPSTREAM_HOPS = 9
+
+
+def clumped_streams(count, rate, policy):
+    """Per-connection envelopes for the CDV the policy assumes."""
+    cdv = policy.accumulate([NODE_BOUND] * UPSTREAM_HOPS)
+    return [
+        cbr(rate).worst_case_stream().delayed(cdv).filtered()
+        for _ in range(count)
+    ]
+
+
+def drive_port(streams, cells=60):
+    """Worst observed wait when replaying the envelopes into one port."""
+    engine = Engine()
+    delivered = []
+    switch = SimSwitch(engine, "sw")
+    switch.add_port("out", delivered.append)
+    for index, stream in enumerate(streams):
+        switch.set_forwarding(f"vc{index}", "out", 0)
+        EnvelopeSource(engine, f"vc{index}", stream, cells, switch.receive)
+    engine.run()
+    return max(cell.hop_waits[0] for cell in delivered)
+
+
+COUNT = 4
+RATE = F(1, 8)
+
+
+class TestHardBoundAlwaysHolds:
+    def test_worst_clumping_within_hard_bound(self):
+        hard_streams = clumped_streams(COUNT, RATE, HARD)
+        observed = drive_port(hard_streams)
+        hard_bound = float(delay_bound(aggregate(hard_streams)))
+        assert observed <= hard_bound + 1e-9
+
+
+class TestSoftBoundIsABet:
+    def test_soft_bound_smaller_than_hard(self):
+        soft_bound = float(delay_bound(
+            aggregate(clumped_streams(COUNT, RATE, SOFT))))
+        hard_bound = float(delay_bound(
+            aggregate(clumped_streams(COUNT, RATE, HARD))))
+        assert soft_bound < hard_bound
+
+    def test_adversarial_clumping_can_exceed_soft_bound(self):
+        """Full worst-case jitter breaks the soft estimate.
+
+        The adversary delays cells by the true upstream maximum (the
+        hard CDV); the soft analysis assumed only sqrt-sum clumping, so
+        its bound undershoots what this traffic achieves.
+        """
+        soft_bound = float(delay_bound(
+            aggregate(clumped_streams(COUNT, RATE, SOFT))))
+        observed = drive_port(clumped_streams(COUNT, RATE, HARD))
+        assert observed > soft_bound
+
+    def test_soft_bound_holds_for_soft_clumping(self):
+        """If jitter really is sqrt-bounded, the soft bound is good."""
+        soft_streams = clumped_streams(COUNT, RATE, SOFT)
+        observed = drive_port(soft_streams)
+        soft_bound = float(delay_bound(aggregate(soft_streams)))
+        assert observed <= soft_bound + 1e-9

@@ -1,0 +1,44 @@
+"""Generic sweep helpers."""
+
+from repro.analysis.sweep import sweep_1d, sweep_2d
+
+
+class TestSweep1d:
+    def test_values_in_order(self):
+        result = sweep_1d(lambda x: x * 2, [3, 1, 2])
+        assert result.values() == [6, 2, 4]
+        assert result.rows == [[3, 6], [1, 2], [2, 4]]
+
+    def test_table_rendering(self):
+        out = sweep_1d(lambda x: x, [1], param="load",
+                       result="bound").table("T")
+        assert "load" in out and "bound" in out and out.startswith("T")
+
+    def test_csv(self):
+        out = sweep_1d(lambda x: x + 1, [1, 2], param="a").csv()
+        assert out.splitlines()[0] == "a,value"
+        assert out.splitlines()[1] == "1,2"
+
+
+class TestSweep2d:
+    def test_row_major_grid(self):
+        result = sweep_2d(lambda a, b: a * 10 + b, [1, 2], [3, 4])
+        assert result.rows == [
+            [1, 3, 13], [1, 4, 14], [2, 3, 23], [2, 4, 24]]
+
+    def test_headers(self):
+        result = sweep_2d(lambda a, b: 0, [1], [1],
+                          first="n", second="load", result="delay")
+        assert result.headers == ["n", "load", "delay"]
+
+    def test_real_usage_with_ring_analysis(self):
+        from repro.rtnet import RingAnalysis, symmetric_workload
+        result = sweep_2d(
+            lambda count, load: float(RingAnalysis(
+                symmetric_workload(load, 4, count), 4
+            ).worst_link_bound(0)),
+            [1, 2], [0.2, 0.4],
+            first="terminals", second="load", result="bound")
+        values = result.values()
+        assert values[0] < values[1]        # more load, bigger bound
+        assert values[0] < values[2]        # more terminals, bigger bound

@@ -1,0 +1,147 @@
+"""Topology substrate: nodes, links, builders."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.topology import (
+    Link,
+    Network,
+    Node,
+    line_network,
+    ring_network,
+    star_network,
+)
+
+
+class TestNode:
+    def test_kinds(self):
+        assert Node("a", "switch").is_switch
+        assert Node("b", "terminal").is_terminal
+
+    def test_invalid_kind(self):
+        with pytest.raises(TopologyError):
+            Node("a", "router")
+
+
+class TestLink:
+    def test_default_capacity(self):
+        assert Link("l", "a", "b").capacity == 1.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(TopologyError):
+            Link("l", "a", "b", capacity=0)
+
+
+class TestNetworkConstruction:
+    def test_add_and_lookup(self):
+        net = Network()
+        net.add_switch("s0")
+        net.add_terminal("t0")
+        link = net.add_link("t0", "s0")
+        assert link.name == "t0->s0"
+        assert net.node("s0").is_switch
+        assert net.link("t0->s0").dst == "s0"
+        assert "s0" in net and "t0->s0" in net
+
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_switch("s0")
+        with pytest.raises(TopologyError, match="duplicate node"):
+            net.add_terminal("s0")
+
+    def test_duplicate_link_rejected(self):
+        net = Network()
+        net.add_switch("a")
+        net.add_switch("b")
+        net.add_link("a", "b")
+        with pytest.raises(TopologyError, match="duplicate link"):
+            net.add_link("a", "b")
+
+    def test_unknown_endpoint_rejected(self):
+        net = Network()
+        net.add_switch("a")
+        with pytest.raises(TopologyError, match="unknown node"):
+            net.add_link("a", "ghost")
+
+    def test_self_loop_rejected(self):
+        net = Network()
+        net.add_switch("a")
+        with pytest.raises(TopologyError, match="self-loop"):
+            net.add_link("a", "a")
+
+    def test_duplex_creates_both_directions(self):
+        net = Network()
+        net.add_switch("a")
+        net.add_switch("b")
+        forward, backward = net.add_duplex("a", "b")
+        assert (forward.src, forward.dst) == ("a", "b")
+        assert (backward.src, backward.dst) == ("b", "a")
+
+    def test_unknown_lookups_raise(self):
+        net = Network()
+        with pytest.raises(TopologyError):
+            net.node("x")
+        with pytest.raises(TopologyError):
+            net.link("x")
+        with pytest.raises(TopologyError):
+            net.find_link("x", "y")
+
+    def test_in_out_links(self):
+        net = Network()
+        net.add_switch("a")
+        net.add_switch("b")
+        net.add_switch("c")
+        net.add_link("a", "b")
+        net.add_link("c", "b")
+        net.add_link("b", "a")
+        assert {l.name for l in net.in_links("b")} == {"a->b", "c->b"}
+        assert {l.name for l in net.out_links("b")} == {"b->a"}
+
+    def test_repr_counts(self):
+        net = star_network(3, bounds={0: 32})
+        assert "switches=1" in repr(net)
+        assert "terminals=3" in repr(net)
+
+
+class TestBuilders:
+    def test_line(self):
+        net = line_network(3, bounds={0: 32}, terminals_per_switch=2)
+        assert sum(1 for _ in net.switches()) == 3
+        assert sum(1 for _ in net.terminals()) == 6
+        # Chain connectivity in both directions.
+        net.find_link("s0", "s1")
+        net.find_link("s1", "s0")
+
+    def test_line_needs_a_switch(self):
+        with pytest.raises(TopologyError):
+            line_network(0, bounds={0: 32})
+
+    def test_ring(self):
+        net = ring_network(4, bounds={0: 32})
+        for index in range(4):
+            net.find_link(f"s{index}", f"s{(index + 1) % 4}")
+
+    def test_ring_too_small(self):
+        with pytest.raises(TopologyError):
+            ring_network(1, bounds={0: 32})
+
+    def test_ring_terminal_attachment(self):
+        net = ring_network(3, bounds={0: 32}, terminals_per_switch=2)
+        assert net.node("t2.1").is_terminal
+        net.find_link("t2.1", "s2")
+        net.find_link("s2", "t2.1")
+
+    def test_star(self):
+        net = star_network(4, bounds={0: 16})
+        for index in range(4):
+            assert net.find_link("hub", f"t{index}").bounds == {0: 16}
+            # Access links carry no advertised bounds (no queueing).
+            assert net.find_link(f"t{index}", "hub").bounds == {}
+
+    def test_star_needs_terminals(self):
+        with pytest.raises(TopologyError):
+            star_network(0, bounds={0: 16})
+
+    def test_bounds_propagate(self):
+        net = ring_network(3, bounds={0: 32, 1: 64})
+        assert net.find_link("s0", "s1").bounds == {0: 32, 1: 64}

@@ -1,0 +1,88 @@
+"""Cell tracing and the contract-conformance checker."""
+
+import pytest
+
+from repro.core.traffic import VBRParameters, cbr, check_conformance, worst_case_cell_times
+from repro.sim import CellTracer, Engine, ScheduleSource, SimSwitch
+
+
+class TestCellTracer:
+    def _traced_run(self, keep=None):
+        engine = Engine()
+        tracer = CellTracer(engine, keep=keep)
+        delivered = []
+        switch = SimSwitch(engine, "sw")
+        switch.add_port("out", tracer.observer("sw:out", delivered.append))
+        switch.set_forwarding("vc", "out", 0)
+        ScheduleSource(engine, "vc", [0.0, 0.5, 4.0],
+                       tracer.observer("ingress", switch.receive))
+        engine.run()
+        return tracer, delivered
+
+    def test_journeys_record_stations_in_order(self):
+        tracer, delivered = self._traced_run()
+        journey = tracer.journey("vc", 0)
+        assert [e.station for e in journey.events] == ["ingress", "sw:out"]
+        times = [e.time for e in journey.events]
+        assert times == sorted(times)
+
+    def test_total_time_and_timeline(self):
+        tracer, _ = self._traced_run()
+        journey = tracer.journey("vc", 1)
+        assert journey.total_time > 0
+        line = journey.timeline()
+        assert "vc#1" in line and "ingress" in line
+
+    def test_journeys_filter_by_connection(self):
+        tracer, _ = self._traced_run()
+        assert len(tracer.journeys("vc")) == 3
+        assert tracer.journeys("other") == []
+
+    def test_dump(self):
+        tracer, _ = self._traced_run()
+        dump = tracer.dump()
+        assert dump.count("\n") == 2          # three lines
+
+    def test_keep_evicts_oldest(self):
+        tracer, _ = self._traced_run(keep=2)
+        assert len(tracer.journeys()) == 2
+        with pytest.raises(KeyError):
+            tracer.journey("vc", 0)
+
+    def test_untraced_cell_raises(self):
+        tracer, _ = self._traced_run()
+        with pytest.raises(KeyError):
+            tracer.journey("vc", 99)
+
+
+class TestCheckConformance:
+    def test_conforming_cbr(self):
+        assert check_conformance([0.0, 4.0, 8.0, 12.0], cbr(0.25)) == []
+
+    def test_peak_violation_flagged(self):
+        assert check_conformance([0.0, 1.0, 8.0], cbr(0.25)) == [1]
+
+    def test_worst_case_schedule_conforms(self):
+        params = VBRParameters(pcr=0.5, scr=0.1, mbs=4)
+        times = worst_case_cell_times(params, 20)
+        assert check_conformance(times, params) == []
+
+    def test_burst_overrun_flagged(self):
+        params = VBRParameters(pcr=0.5, scr=0.05, mbs=3)
+        # Four peak-spaced cells: one more than the burst allows.
+        times = [0.0, 2.0, 4.0, 6.0]
+        assert check_conformance(times, params) == [3]
+
+    def test_violation_does_not_cascade(self):
+        # The tagged cell doesn't consume tokens: later conforming
+        # cells stay clean.
+        params = VBRParameters(pcr=0.5, scr=0.05, mbs=3)
+        times = [0.0, 2.0, 4.0, 6.0, 100.0]
+        assert check_conformance(times, params) == [3]
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            check_conformance([4.0, 0.0], cbr(0.25))
+
+    def test_empty_schedule(self):
+        assert check_conformance([], cbr(0.5)) == []

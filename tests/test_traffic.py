@@ -1,0 +1,191 @@
+"""Traffic descriptors, Algorithm 2.1, and the discrete token model."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.bitstream import BitStream
+from repro.core.traffic import (
+    VBRParameters,
+    cbr,
+    equivalent_vbr_for_cbr_set,
+    worst_case_cell_times,
+)
+from repro.exceptions import TrafficModelError
+
+
+class TestVBRParameters:
+    def test_valid_descriptor(self):
+        v = VBRParameters(pcr=0.5, scr=0.1, mbs=4)
+        assert (v.pcr, v.scr, v.mbs) == (0.5, 0.1, 4)
+
+    def test_scr_above_pcr_rejected(self):
+        with pytest.raises(TrafficModelError):
+            VBRParameters(pcr=0.1, scr=0.5, mbs=2)
+
+    def test_zero_scr_rejected(self):
+        with pytest.raises(TrafficModelError):
+            VBRParameters(pcr=0.5, scr=0, mbs=2)
+
+    def test_pcr_above_link_rate_rejected(self):
+        with pytest.raises(TrafficModelError):
+            VBRParameters(pcr=1.5, scr=0.5, mbs=2)
+
+    def test_mbs_below_one_rejected(self):
+        with pytest.raises(TrafficModelError):
+            VBRParameters(pcr=0.5, scr=0.1, mbs=0)
+
+    def test_cbr_helper(self):
+        c = cbr(0.25)
+        assert c.is_cbr
+        assert c.pcr == c.scr == 0.25
+        assert c.mbs == 1
+
+    def test_cbr_with_vestigial_mbs_normalized(self):
+        # ATM signalling may carry MBS > 1 for CBR; it has no effect.
+        v = VBRParameters(pcr=0.25, scr=0.25, mbs=100)
+        assert v.mbs == 1
+
+    def test_mean_interval(self):
+        assert VBRParameters(pcr=F(1, 2), scr=F(1, 8), mbs=2).mean_interval() == 8
+
+    def test_as_fractions(self):
+        v = VBRParameters(pcr=0.5, scr=0.1, mbs=4).as_fractions()
+        assert v.pcr == F(1, 2)
+        assert v.scr == F(1, 10)
+
+    def test_frozen(self):
+        v = cbr(0.25)
+        with pytest.raises(AttributeError):
+            v.pcr = 0.5
+
+
+class TestWorstCaseStream:
+    """Algorithm 2.1."""
+
+    def test_paper_formula(self):
+        v = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        assert v.worst_case_stream() == BitStream(
+            [1, F(1, 2), F(1, 10)],
+            [0, 1, 1 + F(3, F(1, 2))],
+        )
+
+    def test_burst_duration(self):
+        v = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        assert v.burst_duration == 6     # (MBS-1)/PCR
+
+    def test_cbr_collapses_to_two_segments(self):
+        s = cbr(F(1, 4)).worst_case_stream()
+        assert s == BitStream([1, F(1, 4)], [0, 1])
+
+    def test_mbs_one_collapses(self):
+        v = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=1)
+        assert v.worst_case_stream() == BitStream(
+            [1, F(1, 10)], [0, 1])
+
+    def test_full_rate_pcr_merges_head(self):
+        v = VBRParameters(pcr=1, scr=F(1, 10), mbs=4)
+        # The leading cell and the PCR burst are both at rate 1.
+        assert v.worst_case_stream() == BitStream(
+            [1, F(1, 10)], [0, 4])
+
+    def test_total_burst_bits(self):
+        # By the end of the PCR burst exactly MBS cells have been sent.
+        v = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        s = v.worst_case_stream()
+        assert s.bits(1 + v.burst_duration) == 4
+
+    def test_long_run_rate_is_scr(self):
+        v = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        assert v.worst_case_stream().long_run_rate == F(1, 10)
+
+
+class TestWorstCaseCellTimes:
+    """Equation (1): the greedy discrete process."""
+
+    def test_burst_then_sustained(self):
+        v = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        times = worst_case_cell_times(v, 6)
+        assert times[:4] == [0, 2, 4, 6]           # MBS cells at PCR
+        assert times[4] == pytest.approx(16)       # then SCR spacing
+        assert times[5] == pytest.approx(26)
+
+    def test_cbr_is_evenly_spaced(self):
+        times = worst_case_cell_times(cbr(F(1, 4)), 5)
+        assert times == [0, 4, 8, 12, 16]
+
+    def test_count_zero(self):
+        assert worst_case_cell_times(cbr(0.5), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_cell_times(cbr(0.5), -1)
+
+    def test_envelope_dominates_discrete_arrivals(self):
+        """The continuous envelope bounds the discrete cell process.
+
+        A cell emitted at time t arrives over [t, t+1] at the link rate;
+        the envelope must never report fewer bits than that process.
+        """
+        v = VBRParameters(pcr=F(1, 2), scr=F(1, 8), mbs=5)
+        envelope = v.worst_case_stream()
+        times = worst_case_cell_times(v, 30)
+
+        def discrete_bits(t):
+            return sum(min(1, max(0, t - start)) for start in times)
+
+        probes = [t + frac for t in range(0, 40) for frac in (0.0, 0.31, 0.77)]
+        for t in probes:
+            assert envelope.bits(t) >= discrete_bits(t) - 1e-9
+
+    def test_envelope_tight_at_cell_boundaries(self):
+        """At the end of each burst cell the envelope is exact."""
+        v = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        envelope = v.worst_case_stream()
+        times = worst_case_cell_times(v, 4)
+        for index, start in enumerate(times):
+            assert envelope.bits(start + 1) == pytest.approx(index + 1)
+
+    def test_average_rate_respects_scr(self):
+        v = VBRParameters(pcr=F(1, 2), scr=F(1, 10), mbs=4)
+        times = worst_case_cell_times(v, 200)
+        # Long-run average spacing approaches 1/SCR = 10.
+        span = times[-1] - times[99]
+        assert span / 100 == pytest.approx(10, rel=0.01)
+
+
+class TestEquivalentVbr:
+    """Section 5's N-CBR <-> VBR equivalence."""
+
+    def test_parameters(self):
+        v = equivalent_vbr_for_cbr_set(16, F(1, 64))
+        assert v.mbs == 16
+        assert v.scr == F(1, 4)
+        assert v.pcr == 1
+
+    def test_single_connection(self):
+        v = equivalent_vbr_for_cbr_set(1, F(1, 4))
+        assert v.scr == F(1, 4)
+        assert v.mbs == 1
+
+    def test_overload_rejected(self):
+        with pytest.raises(TrafficModelError):
+            equivalent_vbr_for_cbr_set(8, F(1, 4))
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            equivalent_vbr_for_cbr_set(0, F(1, 4))
+
+    def test_dominates_clumped_individuals(self):
+        """The equivalent VBR envelope bounds N fully clumped CBRs.
+
+        Each CBR cell can be jittered to arrive back to back; the worst
+        aggregate is N cells at once then rate N*R -- which, carried on
+        one link, is what the equivalent VBR envelope describes.
+        """
+        count, rate = 4, F(1, 32)
+        v = equivalent_vbr_for_cbr_set(count, rate)
+        envelope = v.worst_case_stream()
+        # N simultaneous bursts on one link arrive as MBS=N at rate 1.
+        clumped = BitStream([1, count * rate], [0, count])
+        assert envelope.dominates(clumped)

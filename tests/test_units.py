@@ -1,0 +1,101 @@
+"""Unit-conversion arithmetic (cell times, link rates, cyclic bandwidth)."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    CELL_BITS,
+    CELL_BYTES,
+    CELL_PAYLOAD_BYTES,
+    OC3_LINE_RATE_BPS,
+    RTNET_LINK,
+    LinkRate,
+    bandwidth_for_cyclic,
+    cells_for_bytes,
+)
+
+
+class TestCellConstants:
+    def test_cell_is_53_bytes(self):
+        assert CELL_BYTES == 53
+        assert CELL_BITS == 424
+
+    def test_payload_is_48_bytes(self):
+        assert CELL_PAYLOAD_BYTES == 48
+
+
+class TestLinkRate:
+    def test_rtnet_cell_time_is_about_2_7_microseconds(self):
+        # The paper: "At a 155 Mbps transmission speed, one cell time is
+        # about 2.7 microseconds."
+        assert RTNET_LINK.cell_time_seconds == pytest.approx(2.726e-6, rel=1e-3)
+
+    def test_seconds_round_trip(self):
+        cells = RTNET_LINK.seconds_to_cell_times(1e-3)
+        assert RTNET_LINK.cell_times_to_seconds(cells) == pytest.approx(1e-3)
+
+    def test_one_ms_is_about_366_cell_times(self):
+        # 1 ms / 2.726 us = 366.8 -- the paper rounds to "370 cell times".
+        assert RTNET_LINK.ms_to_cell_times(1.0) == pytest.approx(366.8, abs=1)
+
+    def test_ms_round_trip(self):
+        assert RTNET_LINK.cell_times_to_ms(
+            RTNET_LINK.ms_to_cell_times(30.0)) == pytest.approx(30.0)
+
+    def test_normalized_rate(self):
+        assert RTNET_LINK.normalized_rate(OC3_LINE_RATE_BPS) == pytest.approx(1.0)
+        assert RTNET_LINK.mbps_to_normalized(155.52) == pytest.approx(1.0)
+
+    def test_normalized_round_trip(self):
+        assert RTNET_LINK.normalized_to_mbps(
+            RTNET_LINK.mbps_to_normalized(32.0)) == pytest.approx(32.0)
+
+    def test_cells_per_second(self):
+        assert RTNET_LINK.cells_per_second == pytest.approx(
+            OC3_LINE_RATE_BPS / CELL_BITS)
+
+
+class TestCellsForBytes:
+    def test_exact_payload(self):
+        assert cells_for_bytes(48) == 1
+        assert cells_for_bytes(96) == 2
+
+    def test_rounds_up(self):
+        assert cells_for_bytes(1) == 1
+        assert cells_for_bytes(49) == 2
+
+    def test_zero(self):
+        assert cells_for_bytes(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cells_for_bytes(-1)
+
+
+class TestCyclicBandwidth:
+    """The arithmetic behind Table 1's bandwidth column."""
+
+    def test_high_speed_class(self):
+        # 4 KB every 1 ms -> about 32 Mbps (Table 1: 32).
+        mbps = bandwidth_for_cyclic(4 * 1024, 1e-3) / 1e6
+        assert mbps == pytest.approx(32, rel=0.15)
+
+    def test_medium_speed_class(self):
+        # 64 KB every 30 ms -> about 17.5 Mbps (Table 1: 17.5).
+        mbps = bandwidth_for_cyclic(64 * 1024, 30e-3) / 1e6
+        assert mbps == pytest.approx(17.5, rel=0.15)
+
+    def test_low_speed_class(self):
+        # 128 KB every 150 ms -> about 6.8 Mbps (Table 1: 6.8).
+        mbps = bandwidth_for_cyclic(128 * 1024, 150e-3) / 1e6
+        assert mbps == pytest.approx(6.8, rel=0.15)
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError):
+            bandwidth_for_cyclic(1024, 0)
+
+    def test_scales_linearly_with_memory(self):
+        one = bandwidth_for_cyclic(48 * 100, 1.0)
+        two = bandwidth_for_cyclic(48 * 200, 1.0)
+        assert two == pytest.approx(2 * one)

@@ -1,0 +1,52 @@
+"""ASCII topology / route rendering."""
+
+from fractions import Fraction as F
+
+from repro.core import NetworkCAC, cbr
+from repro.network import ConnectionRequest, shortest_path
+from repro.network.topology import line_network, star_network
+from repro.network.visualize import describe_network, describe_route
+
+
+class TestDescribeNetwork:
+    def test_lists_switches_and_links(self):
+        out = describe_network(star_network(2, bounds={0: 32}))
+        assert "1 switches, 2 terminals" in out
+        assert "switch hub" in out
+        assert "hub->t0" in out
+        assert "p0<=32" in out
+
+    def test_access_links_unannotated(self):
+        out = describe_network(star_network(1, bounds={0: 32}))
+        # The terminal's uplink has no bounds, so no bracket after it.
+        line = next(l for l in out.splitlines() if "-> t0 " in l)
+        assert "[" in line         # the delivery link carries bounds
+        assert "terminals: t0" in out
+
+    def test_with_cac_shows_load(self):
+        net = star_network(3, bounds={0: 32})
+        cac = NetworkCAC(net)
+        cac.setup(ConnectionRequest(
+            "vc", cbr(F(1, 4)), shortest_path(net, "t0", "t2")))
+        out = describe_network(net, cac)
+        assert "load=25%" in out
+        assert "now: p0=" in out
+
+
+class TestDescribeRoute:
+    def test_bare_route(self):
+        net = line_network(3, bounds={0: 32}, terminals_per_switch=1)
+        route = shortest_path(net, "t0.0", "t2.0")
+        out = describe_route(route)
+        assert "t0.0 -> t2.0" in out
+        assert "hop 0: s0" in out
+        assert "hop 2: s2" in out
+
+    def test_with_cac_shows_bounds(self):
+        net = line_network(3, bounds={0: 32}, terminals_per_switch=1)
+        cac = NetworkCAC(net)
+        route = shortest_path(net, "t0.0", "t2.0")
+        cac.setup(ConnectionRequest("vc", cbr(F(1, 8)), route))
+        out = describe_route(route, cac)
+        assert "guaranteed 96 cell times" in out
+        assert "bound 0.0/32" in out
