@@ -8,7 +8,7 @@ loaded RTnet port: aggregates of a few hundred breakpoints.
 
 import pytest
 
-from repro.core import aggregate, delay_bound
+from repro.core import SwitchCAC, aggregate, delay_bound
 from repro.core.traffic import VBRParameters
 
 PARAMS = VBRParameters(pcr=0.5, scr=0.002, mbs=5)
@@ -20,6 +20,27 @@ STREAMS = [
 AGGREGATE = aggregate(STREAMS)
 FILTERED = AGGREGATE.filtered()
 HALF = aggregate(STREAMS[:32])
+
+#: Recorded into ``BENCH_core_ops.json`` so the perf trajectory stays
+#: interpretable when the scenario changes.
+STREAM_SIZES = {
+    "component_streams": len(STREAMS),
+    "component_breakpoints": len(STREAMS[0]),
+    "aggregate_breakpoints": len(AGGREGATE),
+    "filtered_breakpoints": len(FILTERED),
+}
+
+
+def _loaded_switch():
+    """A port already carrying 48 connections across 3 inputs."""
+    switch = SwitchCAC("bench")
+    switch.configure_link("out", {0: 10_000.0, 1: 10_000.0})
+    for index in range(48):
+        switch.admit(
+            f"vc{index}", f"in{index % 3}", "out", index % 2,
+            PARAMS.worst_case_stream().delayed(13.0 * index),
+        )
+    return switch
 
 
 def test_bench_aggregate(benchmark):
@@ -46,3 +67,15 @@ def test_bench_delay(benchmark):
 def test_bench_delay_bound(benchmark):
     result = benchmark(lambda: delay_bound(AGGREGATE, FILTERED))
     assert result > 0
+
+
+def test_bench_switch_check(benchmark):
+    """A full admission check on a loaded port (Steps 2-6).
+
+    Exercises the incremental path end to end: cached ``Soa`` delta,
+    memoized ``ServiceCurve``, and the lower-priority re-checks.
+    """
+    switch = _loaded_switch()
+    candidate = PARAMS.worst_case_stream().delayed(5.0)
+    result = benchmark(lambda: switch.check("in0", "out", 0, candidate))
+    assert result.admitted

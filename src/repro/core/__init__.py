@@ -28,6 +28,7 @@ from .delay_bound import (
     departure_time,
     is_stable,
 )
+from .kernels import kernels_enabled
 from .server import AdmissionDecision, AuditEntry, CacServer, PlanReport
 from .switch_cac import CheckResult, Leg, PriorityBoundViolation, SwitchCAC
 from .traffic import (
@@ -43,6 +44,7 @@ __all__ = [
     "Number",
     "ZERO_STREAM",
     "aggregate",
+    "kernels_enabled",
     "VBRParameters",
     "cbr",
     "worst_case_cell_times",

@@ -44,6 +44,7 @@ absorb without precision loss.
 
 from __future__ import annotations
 
+import heapq
 import math
 from fractions import Fraction
 from typing import Iterable, Iterator, Sequence, Tuple, Union
@@ -92,7 +93,7 @@ class BitStream:
     3.0
     """
 
-    __slots__ = ("_rates", "_times")
+    __slots__ = ("_rates", "_times", "_kernel")
 
     def __init__(self, rates: Sequence[Number], times: Sequence[Number]):
         if len(rates) != len(times):
@@ -138,6 +139,7 @@ class BitStream:
 
         self._rates: Tuple[Number, ...] = tuple(canon_rates)
         self._times: Tuple[Number, ...] = tuple(canon_times)
+        self._kernel = None  # lazily built NumPy fast path (see `kernel`)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -152,6 +154,41 @@ class BitStream:
     def zero(cls) -> "BitStream":
         """The empty stream (rate 0 everywhere)."""
         return cls([0], [0])
+
+    @classmethod
+    def _from_canonical(cls, rates: Sequence[Number],
+                        times: Sequence[Number],
+                        kernel=None) -> "BitStream":
+        """Trusted constructor for already-canonical segment lists.
+
+        Used by the NumPy kernels, which canonicalize on arrays with the
+        exact semantics of ``__init__`` and can hand over a pre-built
+        :class:`~repro.core.kernels.StreamKernel` for free.
+        """
+        stream = cls.__new__(cls)
+        stream._rates = tuple(rates)
+        stream._times = tuple(times)
+        stream._kernel = kernel
+        return stream
+
+    # ------------------------------------------------------------------
+    # NumPy fast path
+    # ------------------------------------------------------------------
+
+    @property
+    def kernel(self):
+        """The NumPy fast-path kernel, or ``None`` on the exact path.
+
+        Built once per stream, on first use: float streams (no Fraction
+        anywhere, at least one float) get a
+        :class:`repro.core.kernels.StreamKernel`; exact int/Fraction
+        streams -- and every stream when NumPy is unavailable -- return
+        ``None`` and keep the generic scalar algorithms.
+        """
+        if self._kernel is None:
+            from .kernels import build_kernel
+            self._kernel = build_kernel(self._rates, self._times) or False
+        return self._kernel or None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -201,6 +238,11 @@ class BitStream:
         """
         if t < 0:
             raise ValueError(f"time must be non-negative, got {t}")
+        kernel = None if isinstance(t, Fraction) else self.kernel
+        if kernel is not None:
+            # searchsorted for the index only; the returned rate is the
+            # original Python object, so types are preserved exactly.
+            return self._rates[int(kernel.segment_index(t))]
         index = self._segment_index(t)
         return self._rates[index]
 
@@ -228,6 +270,9 @@ class BitStream:
         """
         if t < 0:
             raise ValueError(f"time must be non-negative, got {t}")
+        kernel = None if isinstance(t, Fraction) else self.kernel
+        if kernel is not None:
+            return float(kernel.bits(t))
         total: Number = 0
         for index, (rate, start) in enumerate(zip(self._rates, self._times)):
             end = self._times[index + 1] if index + 1 < len(self._times) else None
@@ -246,6 +291,9 @@ class BitStream:
             raise ValueError(f"amount must be non-negative, got {amount}")
         if amount == 0:
             return 0 * amount
+        kernel = None if isinstance(amount, Fraction) else self.kernel
+        if kernel is not None:
+            return kernel.time_of_bits(amount)
         total: Number = 0
         for index, (rate, start) in enumerate(zip(self._rates, self._times)):
             end = self._times[index + 1] if index + 1 < len(self._times) else None
@@ -275,6 +323,10 @@ class BitStream:
         """Multiplex two streams: worst case rates add (Algorithm 3.2)."""
         if not isinstance(other, BitStream):
             return NotImplemented
+        mine, theirs = self.kernel, other.kernel
+        if mine is not None and theirs is not None:
+            from .kernels import merge_fast
+            return merge_fast(mine, theirs, subtract=False)
         return _merge(self, other, lambda a, b: a + b)
 
     def __sub__(self, other: "BitStream") -> "BitStream":
@@ -286,6 +338,10 @@ class BitStream:
         """
         if not isinstance(other, BitStream):
             return NotImplemented
+        mine, theirs = self.kernel, other.kernel
+        if mine is not None and theirs is not None:
+            from .kernels import merge_fast
+            return merge_fast(mine, theirs, subtract=True)
         return _merge(self, other, lambda a, b: a - b)
 
     def scaled(self, factor: Number) -> "BitStream":
@@ -521,6 +577,14 @@ def _merge(first: BitStream, second: BitStream, combine) -> BitStream:
     return BitStream(rates, times)
 
 
+def _delta_events(stream: BitStream):
+    """``(time, rate_step)`` events of one stream, in time order."""
+    previous: Number = 0
+    for rate, time in zip(stream.rates, stream.times):
+        yield (time, rate - previous)
+        previous = rate
+
+
 def aggregate(streams: Iterable[BitStream]) -> BitStream:
     """Multiplex any number of streams (k-way Algorithm 3.2).
 
@@ -528,28 +592,47 @@ def aggregate(streams: Iterable[BitStream]) -> BitStream:
     one pass, which matters for the RTnet aggregates of hundreds of
     connections.
     Returns the zero stream for an empty iterable.
+
+    Float streams take the NumPy concatenate-sort-prefix-sum kernel;
+    exact (int/Fraction) inputs keep exact arithmetic via a heap merge
+    of per-stream rate deltas -- O(B log k) in the total breakpoint
+    count B, replacing the old O(B * k) cursor walk.
     """
-    stream_list = [s for s in streams if not s.is_zero]
+    stream_list = []
+    kernels = []
+    for stream in streams:
+        if stream.is_zero:
+            continue
+        stream_list.append(stream)
+        if kernels is not None:
+            kernel = stream.kernel
+            if kernel is None:
+                kernels = None
+            else:
+                kernels.append(kernel)
     if not stream_list:
         return ZERO_STREAM
     if len(stream_list) == 1:
         return stream_list[0]
 
-    # Collect the union of breakpoints, then advance one cursor per stream.
-    all_times = sorted({t for s in stream_list for t in s.times})
-    cursors = [0] * len(stream_list)
+    if kernels is not None:
+        from .kernels import aggregate_fast
+        return aggregate_fast(kernels)
+
+    # Exact path: each stream contributes rate *deltas* at its own
+    # breakpoints; a heap merge visits them in global time order and a
+    # running sum yields the aggregate's step function.
     rates: list[Number] = []
-    for current in all_times:
-        total: Number = 0
-        for which, stream in enumerate(stream_list):
-            times = stream.times
-            cursor = cursors[which]
-            while cursor + 1 < len(times) and times[cursor + 1] <= current:
-                cursor += 1
-            cursors[which] = cursor
-            total += stream.rates[cursor]
-        rates.append(total)
-    return BitStream(rates, all_times)
+    times: list[Number] = []
+    total: Number = 0
+    for time, delta in heapq.merge(*(map(_delta_events, stream_list))):
+        total = total + delta
+        if times and times[-1] == time:
+            rates[-1] = total
+        else:
+            rates.append(total)
+            times.append(time)
+    return BitStream(rates, times)
 
 
 def _envelope_crossing(stream: BitStream, capacity: Number,

@@ -38,6 +38,7 @@ import math
 from typing import Optional, Sequence, Tuple
 
 from ..exceptions import BitStreamError
+from . import kernels as _kernels
 from .bitstream import BitStream, Number
 
 __all__ = [
@@ -170,7 +171,27 @@ def delay_at(stream: BitStream, higher: Optional[BitStream], t: Number) -> Numbe
     return departure_time(stream, service, t) - t
 
 
-def delay_bound(stream: BitStream, higher: Optional[BitStream] = None) -> Number:
+def _fast_kernels(stream: BitStream, higher: Optional[BitStream]):
+    """``(stream_kernel, higher_kernel)`` when the float path applies.
+
+    The fast path engages when the arrival stream has a NumPy kernel
+    and the interference either is absent/zero or has one too; exact
+    (Fraction) inputs on either side keep the scalar algorithms.
+    Returns ``None`` when the exact path must run.
+    """
+    stream_kernel = stream.kernel
+    if stream_kernel is None:
+        return None
+    if higher is None or higher.is_zero:
+        return stream_kernel, None
+    higher_kernel = higher.kernel
+    if higher_kernel is None:
+        return None
+    return stream_kernel, higher_kernel
+
+
+def delay_bound(stream: BitStream, higher: Optional[BitStream] = None,
+                *, service: Optional[ServiceCurve] = None) -> Number:
     """Algorithm 4.1: the worst-case queueing delay bound for ``stream``.
 
     Parameters
@@ -184,28 +205,39 @@ def delay_bound(stream: BitStream, higher: Optional[BitStream] = None) -> Number
         ``None`` when ``p`` is the highest priority level.  For the
         highest priority the bound degenerates to the maximum backlog of
         Figure 7, as the paper notes.
+    service:
+        Optional pre-built :class:`ServiceCurve` for ``S1``; supplying
+        one (as :class:`~repro.core.switch_cac.SwitchCAC` does from its
+        per-port memo) skips rebuilding the cumulative-service prefix
+        sums on every check.  Overrides ``higher`` when given.
 
     Returns
     -------
     The maximum of ``D(t)`` over all arrival instants, in cell times;
     ``math.inf`` when the system is unstable.
     """
+    if service is not None:
+        higher = service.higher
     if stream.is_zero:
         return 0
     if not is_stable(stream, higher):
         return math.inf
-    service = ServiceCurve(higher)
+    fast = _fast_kernels(stream, higher)
+    if fast is not None:
+        return _kernels.delay_bound_fast(*fast)
+    if service is None:
+        service = ServiceCurve(higher)
 
-    candidates: list[Number] = list(stream.times)
+    candidates: set[Number] = set(stream.times)
     for _, served in service.breakpoints():
         # g(t) crosses this service breakpoint when A(t) == C(t1_j);
         # the earliest such arrival instant is a vertex of D(t).
         preimage = stream.time_of_bits(served)
         if preimage != math.inf:
-            candidates.append(preimage)
+            candidates.add(preimage)
 
     best: Number = 0
-    for t in candidates:
+    for t in sorted(candidates):
         arrived = stream.bits(t)
         leave = service.inverse(arrived)
         if leave == math.inf:
@@ -219,20 +251,29 @@ def delay_bound(stream: BitStream, higher: Optional[BitStream] = None) -> Number
 
 
 def backlog_bound_with_higher(stream: BitStream,
-                              higher: Optional[BitStream] = None) -> Number:
+                              higher: Optional[BitStream] = None,
+                              *, service: Optional[ServiceCurve] = None
+                              ) -> Number:
     """Worst-case priority-``p`` queue occupancy, in cells.
 
     The backlog at time ``u`` is ``A(u) - C(u)`` whenever positive (all
     leftover service is consumed while a backlog exists).  The maximum
     over ``u`` sizes the FIFO buffer needed to guarantee zero loss --
     what Section 5 uses to pick RTnet's 32-cell queues.  Returns
-    ``math.inf`` when unstable.
+    ``math.inf`` when unstable.  ``service`` works as in
+    :func:`delay_bound`.
     """
+    if service is not None:
+        higher = service.higher
     if stream.is_zero:
         return 0
     if not is_stable(stream, higher):
         return math.inf
-    service = ServiceCurve(higher)
+    fast = _fast_kernels(stream, higher)
+    if fast is not None:
+        return _kernels.backlog_bound_fast(*fast)
+    if service is None:
+        service = ServiceCurve(higher)
     points = sorted(set(stream.times) | set(service.higher.times))
     best: Number = 0
     for point in points:

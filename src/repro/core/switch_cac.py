@@ -28,6 +28,15 @@ The switch advertises a *fixed* bound ``D(j, p)`` per output link and
 priority -- in RTnet the size of the priority-``p`` FIFO in cells --
 independent of current load (Section 4.1), which is what lets the
 distributed setup procedure accumulate CDV without iterating.
+
+Incremental bookkeeping (see ``docs/performance.md``): every derived
+aggregate above is cached and *patched* by one ``+``/``-`` delta per
+admit/release instead of being re-aggregated from all legs, and the
+:class:`~repro.core.delay_bound.ServiceCurve` of each ``(out_link,
+priority)`` port is memoized with dirty-flag invalidation.  An
+admission check on a loaded port therefore costs O(m) in the aggregate
+breakpoint count rather than O(legs * m).  :meth:`verify_consistency`
+cross-checks every cache against a from-scratch rebuild.
 """
 
 from __future__ import annotations
@@ -38,7 +47,11 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..exceptions import AdmissionError, SwitchRejection
 from .bitstream import BitStream, Number, ZERO_STREAM, aggregate
-from .delay_bound import backlog_bound_with_higher, delay_bound
+from .delay_bound import (
+    ServiceCurve,
+    backlog_bound_with_higher,
+    delay_bound,
+)
 
 __all__ = ["SwitchCAC", "Leg", "CheckResult", "PriorityBoundViolation"]
 
@@ -135,8 +148,22 @@ class SwitchCAC:
         self._legs: Dict[str, Leg] = {}
         #: Sia(i, j, p) aggregates, maintained incrementally
         self._sia: Dict[Tuple[str, str, int], BitStream] = {}
-        #: memoized filtered streams, invalidated on any state change
-        self._filter_cache: Dict[Tuple[str, str, int, str], BitStream] = {}
+        # ---- derived-aggregate caches, patched by one +/- delta per
+        # ---- admit/release (see _apply) and rebuilt lazily on miss.
+        #: Sif(i, j, p) = filter(Sia(i, j, p))
+        self._sif_cache: Dict[Tuple[str, str, int], BitStream] = {}
+        #: Sia(i, j)(p): per-pair aggregate of priorities higher than p
+        self._higher_cache: Dict[Tuple[str, str, int], BitStream] = {}
+        #: Sif(i, j)(p) = filter(Sia(i, j)(p))
+        self._sif_higher_cache: Dict[Tuple[str, str, int], BitStream] = {}
+        #: Soa(j, p) = sum_i Sif(i, j, p)
+        self._soa_cache: Dict[Tuple[str, int], BitStream] = {}
+        #: sum_i Sif(i, j)(p), before the final output filter
+        self._higher_sum_cache: Dict[Tuple[str, int], BitStream] = {}
+        #: Sof(j)(p) = filter(sum_i Sif(i, j)(p))
+        self._sof_cache: Dict[Tuple[str, int], BitStream] = {}
+        #: memoized ServiceCurve per (out_link, priority)
+        self._service_cache: Dict[Tuple[str, int], ServiceCurve] = {}
 
     # ------------------------------------------------------------------
     # Configuration
@@ -191,46 +218,58 @@ class SwitchCAC:
         """``Sia(i, j, p)``: the per-pair per-priority aggregate."""
         return self._sia.get((in_link, out_link, priority), ZERO_STREAM)
 
-    def _in_links(self, out_link: str) -> List[str]:
-        """Incoming links currently feeding ``out_link``."""
-        return sorted({
-            in_link for (in_link, out, _), stream in self._sia.items()
-            if out == out_link and not stream.is_zero
-        })
-
-    def _filtered(self, in_link: str, out_link: str, priority: int,
-                  kind: str, stream: BitStream) -> BitStream:
-        """Memoized filter of a derived stream (cleared on state change)."""
-        key = (in_link, out_link, priority, kind)
-        cached = self._filter_cache.get(key)
-        if cached is None:
-            cached = stream.filtered() if self.filter_per_input else stream
-            self._filter_cache[key] = cached
-        return cached
+    def _filter(self, stream: BitStream) -> BitStream:
+        """Per-input link filtering (identity in the ablation mode)."""
+        return stream.filtered() if self.filter_per_input else stream
 
     def _sif(self, in_link: str, out_link: str, priority: int) -> BitStream:
         """``Sif(i, j, p)``: the per-input aggregate after link filtering."""
-        return self._filtered(
-            in_link, out_link, priority, "same",
-            self.sia(in_link, out_link, priority),
-        )
+        key = (in_link, out_link, priority)
+        cached = self._sif_cache.get(key)
+        if cached is None:
+            cached = self._filter(self.sia(in_link, out_link, priority))
+            self._sif_cache[key] = cached
+        return cached
 
     def _higher_sia(self, in_link: str, out_link: str,
                     priority: int) -> BitStream:
         """``Sia(i, j)(p)``: aggregate of priorities higher than ``p``."""
-        parts = [
-            stream for (i, j, q), stream in self._sia.items()
-            if i == in_link and j == out_link and q < priority
-        ]
-        return aggregate(parts)
+        key = (in_link, out_link, priority)
+        cached = self._higher_cache.get(key)
+        if cached is None:
+            cached = aggregate([
+                stream for (i, j, q), stream in self._sia.items()
+                if i == in_link and j == out_link and q < priority
+            ])
+            self._higher_cache[key] = cached
+        return cached
 
     def _sif_higher(self, in_link: str, out_link: str,
                     priority: int) -> BitStream:
         """``Sif(i, j)(p)``: the filtered higher-priority aggregate."""
-        return self._filtered(
-            in_link, out_link, priority, "higher",
-            self._higher_sia(in_link, out_link, priority),
-        )
+        key = (in_link, out_link, priority)
+        cached = self._sif_higher_cache.get(key)
+        if cached is None:
+            cached = self._filter(
+                self._higher_sia(in_link, out_link, priority)
+            )
+            self._sif_higher_cache[key] = cached
+        return cached
+
+    def _higher_sum(self, out_link: str, priority: int) -> BitStream:
+        """``sum_i Sif(i, j)(p)``, the pre-filter output interference."""
+        key = (out_link, priority)
+        cached = self._higher_sum_cache.get(key)
+        if cached is None:
+            in_links = sorted({
+                i for (i, j, q) in self._sia
+                if j == out_link and q < priority
+            })
+            cached = aggregate([
+                self._sif_higher(i, out_link, priority) for i in in_links
+            ])
+            self._higher_sum_cache[key] = cached
+        return cached
 
     def soa(self, out_link: str, priority: int,
             replace: Optional[Tuple[str, BitStream]] = None) -> BitStream:
@@ -238,18 +277,25 @@ class SwitchCAC:
 
         ``replace`` optionally substitutes the (already filtered)
         per-input aggregate of one incoming link -- how the admission
-        check builds ``S'oa`` without mutating state.
+        check builds ``S'oa`` without mutating state.  With the cached
+        aggregate this is one subtract-and-add delta, O(m), instead of
+        a re-aggregation over every incoming link.
         """
-        in_links = set(self._in_links(out_link))
-        if replace is not None:
-            in_links.add(replace[0])
-        parts = []
-        for in_link in sorted(in_links):
-            if replace is not None and in_link == replace[0]:
-                parts.append(replace[1])
-            else:
-                parts.append(self._sif(in_link, out_link, priority))
-        return aggregate(parts)
+        key = (out_link, priority)
+        base = self._soa_cache.get(key)
+        if base is None:
+            in_links = sorted({
+                i for (i, j, q) in self._sia
+                if j == out_link and q == priority
+            })
+            base = aggregate([
+                self._sif(i, out_link, priority) for i in in_links
+            ])
+            self._soa_cache[key] = base
+        if replace is None:
+            return base
+        in_link, replacement = replace
+        return base - self._sif(in_link, out_link, priority) + replacement
 
     def sof_higher(self, out_link: str, priority: int,
                    extra: Optional[Tuple[str, BitStream]] = None) -> BitStream:
@@ -258,21 +304,120 @@ class SwitchCAC:
         ``extra`` optionally adds a candidate connection's stream to the
         higher-priority aggregate of one incoming link (used when
         checking the impact of a new higher-priority connection on an
-        existing lower priority).
+        existing lower priority); like ``replace`` above, the candidate
+        variant is an O(m) delta against the cached interference sum.
         """
-        in_links = set(self._in_links(out_link))
-        if extra is not None:
-            in_links.add(extra[0])
-        parts = []
-        for in_link in sorted(in_links):
-            if extra is not None and in_link == extra[0]:
-                combined = self._higher_sia(in_link, out_link, priority) + extra[1]
-                parts.append(
-                    combined.filtered() if self.filter_per_input else combined
-                )
+        key = (out_link, priority)
+        if extra is None:
+            cached = self._sof_cache.get(key)
+            if cached is None:
+                cached = self._higher_sum(out_link, priority).filtered()
+                self._sof_cache[key] = cached
+            return cached
+        in_link, stream = extra
+        combined = self._higher_sia(in_link, out_link, priority) + stream
+        total = (self._higher_sum(out_link, priority)
+                 - self._sif_higher(in_link, out_link, priority)
+                 + self._filter(combined))
+        return total.filtered()
+
+    def _service(self, out_link: str, priority: int) -> ServiceCurve:
+        """Memoized ServiceCurve of ``Sof(j)(p)`` for the port."""
+        key = (out_link, priority)
+        cached = self._service_cache.get(key)
+        if cached is None:
+            cached = ServiceCurve(self.sof_higher(out_link, priority))
+            self._service_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Incremental state transitions
+    # ------------------------------------------------------------------
+
+    def _apply(self, in_link: str, out_link: str, priority: int,
+               stream: BitStream, add: bool) -> None:
+        """Patch every cached aggregate for one admit/release delta.
+
+        Same-priority state -- ``Sia``, ``Sif`` and the ``Soa`` sum --
+        and the higher-priority interference of every lower priority
+        are updated by a single ``+``/``-`` of the connection's stream
+        (Algorithms 3.2/3.3); only the final output filter and the
+        ServiceCurve of affected lower priorities are recomputed, and
+        those lazily, on the next check that needs them.
+        """
+        key = (in_link, out_link, priority)
+        old_sia = self.sia(in_link, out_link, priority)
+
+        # Snapshot the higher-priority aggregates that must be patched,
+        # *before* mutating _sia (a lazy rebuild below would otherwise
+        # read post-change state).
+        affected = {
+            p for (i, j, p) in list(self._higher_cache)
+            if i == in_link and j == out_link and p > priority
+        }
+        affected.update(
+            p for (i, j, p) in self._sif_higher_cache
+            if i == in_link and j == out_link and p > priority
+        )
+        affected.update(
+            p for caches in (self._higher_sum_cache, self._sof_cache,
+                             self._service_cache)
+            for (j, p) in caches
+            if j == out_link and p > priority
+        )
+        old_higher: Dict[int, BitStream] = {}
+        for p in affected:
+            if (out_link, p) in self._higher_sum_cache:
+                # Force the per-pair aggregate into existence so the sum
+                # can be patched rather than dropped.
+                old_higher[p] = self._higher_sia(in_link, out_link, p)
             else:
-                parts.append(self._sif_higher(in_link, out_link, priority))
-        return aggregate(parts).filtered()
+                old_higher[p] = self._higher_cache.get(
+                    (in_link, out_link, p), None)
+
+        # ---- Sia(i, j, p): the ground-truth incremental aggregate.
+        new_sia = (old_sia + stream) if add else (old_sia - stream)
+        if new_sia.is_zero:
+            self._sia.pop(key, None)
+        else:
+            self._sia[key] = new_sia
+
+        # ---- Same-priority derived state: one O(m) delta on Soa.
+        old_sif = self._sif_cache.get(key)
+        new_sif = self._filter(new_sia)
+        self._sif_cache[key] = new_sif
+        soa_key = (out_link, priority)
+        cached_soa = self._soa_cache.get(soa_key)
+        if cached_soa is not None:
+            if old_sif is None:
+                old_sif = self._filter(old_sia)
+            self._soa_cache[soa_key] = cached_soa - old_sif + new_sif
+
+        # ---- Lower priorities: patch their interference aggregates.
+        for p in affected:
+            hkey = (in_link, out_link, p)
+            sum_key = (out_link, p)
+            previous = old_higher[p]
+            if previous is not None:
+                patched = (previous + stream) if add else (previous - stream)
+                self._higher_cache[hkey] = patched
+                old_hf = self._sif_higher_cache.pop(hkey, None)
+                cached_sum = self._higher_sum_cache.get(sum_key)
+                if cached_sum is not None:
+                    if old_hf is None:
+                        old_hf = self._filter(previous)
+                    new_hf = self._filter(patched)
+                    self._sif_higher_cache[hkey] = new_hf
+                    self._higher_sum_cache[sum_key] = (
+                        cached_sum - old_hf + new_hf
+                    )
+            else:
+                self._sif_higher_cache.pop(hkey, None)
+                self._higher_sum_cache.pop(sum_key, None)
+            # The final output filter and the port's ServiceCurve are
+            # cheap O(m) rebuilds; mark them dirty.
+            self._sof_cache.pop(sum_key, None)
+            self._service_cache.pop(sum_key, None)
 
     # ------------------------------------------------------------------
     # Admission (Steps 1-6)
@@ -321,10 +466,9 @@ class SwitchCAC:
 
         # Step 2-4: the new connection's own priority.
         new_sia = self.sia(in_link, out_link, priority) + stream
-        new_sif = new_sia.filtered() if self.filter_per_input else new_sia
+        new_sif = self._filter(new_sia)
         new_soa = self.soa(out_link, priority, replace=(in_link, new_sif))
-        interference = self.sof_higher(out_link, priority)
-        bound = delay_bound(new_soa, interference)
+        bound = delay_bound(new_soa, service=self._service(out_link, priority))
         computed[priority] = bound
         if bound > advertised[priority]:
             violations.append(PriorityBoundViolation(
@@ -378,9 +522,7 @@ class SwitchCAC:
         self._legs[connection_id] = Leg(
             connection_id, in_link, out_link, priority, stream,
         )
-        key = (in_link, out_link, priority)
-        self._sia[key] = self.sia(in_link, out_link, priority) + stream
-        self._filter_cache.clear()
+        self._apply(in_link, out_link, priority, stream, add=True)
         return result
 
     def release(self, connection_id: str) -> Leg:
@@ -392,13 +534,8 @@ class SwitchCAC:
                 f"connection {connection_id!r} is not admitted at switch "
                 f"{self.name!r}"
             ) from None
-        key = (leg.in_link, leg.out_link, leg.priority)
-        remaining = self._sia[key] - leg.stream
-        if remaining.is_zero:
-            del self._sia[key]
-        else:
-            self._sia[key] = remaining
-        self._filter_cache.clear()
+        self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
+                    add=False)
         return leg
 
     # ------------------------------------------------------------------
@@ -410,7 +547,7 @@ class SwitchCAC:
         soa = self.soa(out_link, priority)
         if soa.is_zero:
             return 0
-        return delay_bound(soa, self.sof_higher(out_link, priority))
+        return delay_bound(soa, service=self._service(out_link, priority))
 
     def buffer_requirement(self, out_link: str, priority: int) -> Number:
         """Worst-case FIFO occupancy (cells) of the admitted traffic.
@@ -423,7 +560,7 @@ class SwitchCAC:
         if soa.is_zero:
             return 0
         return backlog_bound_with_higher(
-            soa, self.sof_higher(out_link, priority),
+            soa, service=self._service(out_link, priority),
         )
 
     def in_link_utilization(self, in_link: str) -> Number:
@@ -457,13 +594,43 @@ class SwitchCAC:
         return fresh
 
     def verify_consistency(self, tolerance: float = 1e-9) -> bool:
-        """True when incremental aggregates match a from-scratch rebuild."""
+        """True when every incremental cache matches a from-scratch rebuild.
+
+        Checks the ``Sia`` ground truth *and* each populated derived
+        cache (higher-priority aggregates, output sums) against values
+        recomputed from the per-leg streams alone.
+        """
         fresh = self.recompute_aggregates()
         keys = set(fresh) | set(self._sia)
         for key in keys:
             current = self._sia.get(key, ZERO_STREAM)
             expected = fresh.get(key, ZERO_STREAM)
             if not current.approx_equal(expected, tolerance):
+                return False
+        for (i, j, p), cached in self._higher_cache.items():
+            expected = aggregate([
+                stream for (i2, j2, q), stream in fresh.items()
+                if i2 == i and j2 == j and q < p
+            ])
+            if not cached.approx_equal(expected, tolerance):
+                return False
+        for (j, p), cached in self._soa_cache.items():
+            expected = aggregate([
+                self._filter(stream)
+                for (_i2, j2, q), stream in sorted(fresh.items())
+                if j2 == j and q == p
+            ])
+            if not cached.approx_equal(expected, tolerance):
+                return False
+        for (j, p), cached in self._higher_sum_cache.items():
+            per_input: Dict[str, BitStream] = {}
+            for (i2, j2, q), stream in sorted(fresh.items()):
+                if j2 == j and q < p:
+                    per_input[i2] = per_input.get(i2, ZERO_STREAM) + stream
+            expected = aggregate([
+                self._filter(per_input[i2]) for i2 in sorted(per_input)
+            ])
+            if not cached.approx_equal(expected, tolerance):
                 return False
         return True
 

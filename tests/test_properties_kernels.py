@@ -1,0 +1,196 @@
+"""Property tests: the NumPy float fast path agrees with the exact path.
+
+Every strategy generates exact :class:`fractions.Fraction` streams, runs
+the algorithm on them (which always takes the scalar exact path -- a
+kernel is never built for Fraction inputs), then re-runs the algorithm
+on the float twins produced by :meth:`BitStream.as_floats` (which take
+the :mod:`repro.core.kernels` fast path whenever NumPy is available)
+and asserts agreement to within 1e-9.
+
+The generated fractions have small denominators, so exact values near
+decision boundaries (stability ``rate <= 1``, zero service slope) are
+either *at* the boundary -- where the float conversion is exact -- or
+at least ~1e-6 away from it, far beyond float round-off.  Branch
+decisions therefore never flip between the two paths and ``inf``
+results must match exactly.
+"""
+
+import math
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitstream import BitStream, ZERO_STREAM, aggregate
+from repro.core.delay_bound import backlog_bound_with_higher, delay_bound
+from repro.core.kernels import kernels_enabled
+
+TOLERANCE = 1e-9
+
+fractions_01 = st.fractions(min_value=F(1, 20), max_value=1,
+                            max_denominator=20)
+positive_gaps = st.fractions(min_value=F(1, 4), max_value=20,
+                             max_denominator=8)
+probe_times = st.fractions(min_value=0, max_value=60, max_denominator=8)
+
+
+@st.composite
+def monotone_streams(draw, max_segments=4, max_head_rate=1):
+    """A canonical non-increasing stream with Fraction arithmetic."""
+    count = draw(st.integers(min_value=1, max_value=max_segments))
+    raw = sorted(
+        draw(st.lists(fractions_01, min_size=count, max_size=count)),
+        reverse=True,
+    )
+    rates = [rate * max_head_rate for rate in raw]
+    gaps = draw(st.lists(positive_gaps, min_size=count - 1,
+                         max_size=count - 1))
+    times = [F(0)]
+    for gap in gaps:
+        times.append(times[-1] + gap)
+    return BitStream(rates, times)
+
+
+def close(a, b, tolerance=TOLERANCE):
+    """Scalar agreement, treating the two infinities as equal."""
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= tolerance * (1 + abs(b))
+
+
+# ----------------------------------------------------------------------
+# Fast-path engagement (gating policy)
+# ----------------------------------------------------------------------
+
+@given(monotone_streams())
+def test_fraction_streams_never_get_a_kernel(s):
+    assert s.kernel is None
+
+
+@given(monotone_streams())
+def test_float_streams_get_a_kernel_when_numpy_present(s):
+    twin = s.as_floats()
+    if kernels_enabled():
+        assert twin.kernel is not None
+    else:  # pragma: no cover - exercised only without numpy
+        assert twin.kernel is None
+
+
+def test_pure_int_streams_stay_exact():
+    # Integer streams (the zero stream, a saturated link) keep the
+    # exact path so their results keep integer types.
+    assert ZERO_STREAM.kernel is None
+    assert BitStream.constant(1).kernel is None
+
+
+# ----------------------------------------------------------------------
+# Point lookups
+# ----------------------------------------------------------------------
+
+@given(monotone_streams(max_head_rate=2), probe_times)
+def test_bits_matches_exact(s, t):
+    assert close(s.as_floats().bits(float(t)), s.bits(t))
+
+
+@given(monotone_streams(max_head_rate=2), probe_times)
+def test_rate_at_matches_exact(s, t):
+    assert close(s.as_floats().rate_at(float(t)), s.rate_at(t))
+
+
+@given(monotone_streams(max_head_rate=2),
+       st.fractions(min_value=0, max_value=40, max_denominator=8))
+def test_time_of_bits_matches_exact(s, amount):
+    assert close(s.as_floats().time_of_bits(float(amount)),
+                 s.time_of_bits(amount))
+
+
+# ----------------------------------------------------------------------
+# Stream-valued operations (Algorithms 3.1-3.4)
+# ----------------------------------------------------------------------
+
+@given(monotone_streams(), monotone_streams())
+def test_multiplex_matches_exact(a, b):
+    fast = a.as_floats() + b.as_floats()
+    assert fast.approx_equal(a + b, TOLERANCE)
+
+
+@given(monotone_streams(), monotone_streams())
+def test_demultiplex_matches_exact(a, b):
+    total = a + b
+    fast = total.as_floats() - b.as_floats()
+    assert fast.approx_equal(total - b, TOLERANCE)
+
+
+@given(st.lists(monotone_streams(), min_size=2, max_size=6))
+def test_aggregate_matches_exact(streams):
+    fast = aggregate([s.as_floats() for s in streams])
+    assert fast.approx_equal(aggregate(streams), TOLERANCE)
+
+
+@given(monotone_streams(max_head_rate=4))
+def test_filtered_matches_exact(s):
+    assert s.as_floats().filtered().approx_equal(s.filtered(), TOLERANCE)
+
+
+@given(monotone_streams(),
+       st.fractions(min_value=0, max_value=30, max_denominator=4))
+def test_delayed_matches_exact(s, cdv):
+    fast = s.as_floats().delayed(float(cdv))
+    assert fast.approx_equal(s.delayed(cdv), TOLERANCE)
+
+
+# ----------------------------------------------------------------------
+# Worst-case analysis (Algorithm 4.1)
+# ----------------------------------------------------------------------
+
+@given(monotone_streams(max_head_rate=3))
+def test_delay_bound_no_interference_matches_exact(s):
+    assert close(delay_bound(s.as_floats()), delay_bound(s))
+
+
+@given(monotone_streams(max_head_rate=2), monotone_streams(max_head_rate=2))
+def test_delay_bound_matches_exact(arrivals, interference):
+    higher = interference.filtered()
+    exact = delay_bound(arrivals, higher)
+    fast = delay_bound(arrivals.as_floats(), higher.as_floats())
+    assert close(fast, exact)
+
+
+@given(monotone_streams(max_head_rate=2), monotone_streams(max_head_rate=2))
+def test_backlog_bound_matches_exact(arrivals, interference):
+    higher = interference.filtered()
+    exact = backlog_bound_with_higher(arrivals, higher)
+    fast = backlog_bound_with_higher(arrivals.as_floats(),
+                                     higher.as_floats())
+    assert close(fast, exact)
+
+
+# ----------------------------------------------------------------------
+# Kernel vs scalar on identical float inputs
+# ----------------------------------------------------------------------
+
+def _scalar_only(stream):
+    """The same float stream with its kernel disabled (exact path)."""
+    copy = BitStream._from_canonical(stream.rates, stream.times, False)
+    assert copy.kernel is None
+    return copy
+
+
+@pytest.mark.skipif(not kernels_enabled(), reason="NumPy not available")
+@given(st.lists(monotone_streams(), min_size=2, max_size=6))
+def test_kernel_aggregate_matches_scalar_floats(streams):
+    twins = [s.as_floats() for s in streams]
+    fast = aggregate(twins)
+    slow = aggregate([_scalar_only(s) for s in twins])
+    assert fast.kernel is not None
+    assert fast.approx_equal(slow, TOLERANCE)
+
+
+@pytest.mark.skipif(not kernels_enabled(), reason="NumPy not available")
+@given(monotone_streams(max_head_rate=2), monotone_streams(max_head_rate=2))
+def test_kernel_delay_bound_matches_scalar_floats(arrivals, interference):
+    higher = interference.filtered().as_floats()
+    twin = arrivals.as_floats()
+    fast = delay_bound(twin, higher)
+    slow = delay_bound(_scalar_only(twin), _scalar_only(higher))
+    assert close(fast, slow)
