@@ -45,9 +45,12 @@ from .exceptions import (
     BitStreamError,
     QosUnsatisfiable,
     ReproError,
+    RetryExhausted,
     RoutingError,
+    SignalingTimeout,
     SimulationError,
     SwitchRejection,
+    SwitchUnavailable,
     TopologyError,
     TrafficModelError,
     UnstableSystemError,
@@ -98,6 +101,9 @@ __all__ = [
     "AdmissionError",
     "SwitchRejection",
     "QosUnsatisfiable",
+    "SignalingTimeout",
+    "SwitchUnavailable",
+    "RetryExhausted",
     "RoutingError",
     "TopologyError",
     "SimulationError",

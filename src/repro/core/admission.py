@@ -22,9 +22,16 @@ state and can also answer hypothetical (non-mutating) queries.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-from ..exceptions import AdmissionError, QosUnsatisfiable, SwitchRejection
+from ..exceptions import (
+    AdmissionError,
+    QosUnsatisfiable,
+    SignalingTimeout,
+    SwitchRejection,
+    SwitchUnavailable,
+)
 from ..network.connection import (
     ConnectionRequest,
     EstablishedConnection,
@@ -32,13 +39,18 @@ from ..network.connection import (
 )
 from ..network.routing import Route
 from ..network.signaling import (
+    AbortMessage,
+    CommitMessage,
     ConnectedMessage,
     RejectMessage,
     ReleaseMessage,
     SetupMessage,
+    SignalingChannel,
     SignalingTrace,
 )
 from ..network.topology import Network
+from ..robustness.faults import FaultInjector
+from ..robustness.retry import ManualClock, RetryPolicy
 from .accumulation import CdvPolicy, make_policy
 from .bitstream import BitStream, Number
 from .switch_cac import SwitchCAC
@@ -62,6 +74,18 @@ class NetworkCAC:
     filter_per_input:
         Forwarded to every switch; ``False`` reproduces the coarser
         no-link-filtering analysis for the ablation bench.
+    fault_injector:
+        Optional :class:`~repro.robustness.faults.FaultInjector` the
+        signaling channel consults on every message delivery; ``None``
+        (the default) makes the protocol lossless, which degenerates to
+        the paper's original walk.
+    retry_policy / hop_timeout:
+        Resend budget and per-hop response timeout of the signaling
+        channel (see ``docs/robustness.md``).
+    clock / rng:
+        Simulated time source and backoff-jitter randomness, injected
+        so fault schedules replay deterministically.  The clock is
+        shared across all walks of this instance.
 
     Examples
     --------
@@ -80,10 +104,20 @@ class NetworkCAC:
 
     def __init__(self, network: Network,
                  cdv_policy: Union[str, CdvPolicy] = "hard",
-                 filter_per_input: bool = True):
+                 filter_per_input: bool = True,
+                 fault_injector: Optional[FaultInjector] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 hop_timeout: float = 8.0,
+                 clock: Optional[ManualClock] = None,
+                 rng: Optional[random.Random] = None):
         self.network = network
         self.cdv_policy = make_policy(cdv_policy)
         self.filter_per_input = filter_per_input
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.hop_timeout = hop_timeout
+        self.clock = clock or ManualClock()
+        self.rng = rng or random.Random(0)
         self._switches: Dict[str, SwitchCAC] = {}
         self._established: Dict[str, EstablishedConnection] = {}
         for switch in network.switches():
@@ -104,10 +138,26 @@ class NetworkCAC:
         except KeyError:
             raise AdmissionError(f"no switch named {name!r}") from None
 
+    def switches(self) -> Mapping[str, SwitchCAC]:
+        """Every per-switch CAC, keyed by switch name (a snapshot)."""
+        return dict(self._switches)
+
     @property
     def established(self) -> Mapping[str, EstablishedConnection]:
         """All currently established connections, keyed by name."""
         return dict(self._established)
+
+    def _channel(self, trace: Optional[SignalingTrace]) -> SignalingChannel:
+        """The signaling transport for one walk, sharing this CAC's clock."""
+        return SignalingChannel(
+            injector=self.fault_injector,
+            retry_policy=self.retry_policy,
+            clock=self.clock,
+            rng=self.rng,
+            hop_timeout=self.hop_timeout,
+            trace=trace,
+            crash_switch=lambda name: self._switches[name].crash(),
+        )
 
     # ------------------------------------------------------------------
     # Setup / teardown
@@ -136,13 +186,20 @@ class NetworkCAC:
               trace: Optional[SignalingTrace] = None) -> EstablishedConnection:
         """Establish a connection along its route, or raise.
 
-        Walks the route like the SETUP message does: the CAC check runs
-        at every hop with the properly clumped arrival stream; the first
-        refusal releases everything reserved so far and raises
-        :class:`SwitchRejection`.  A route whose advertised bounds sum
-        beyond the requested ``D`` raises :class:`QosUnsatisfiable`
-        without reserving anything.  On success the connection is
-        committed at every hop and recorded.
+        A two-phase walk (see ``docs/robustness.md``): the SETUP message
+        first *reserves* resources hop by hop with the properly clumped
+        arrival stream, then a COMMIT wave travelling back from the
+        destination confirms every reservation.  Each message is
+        delivered over the :class:`SignalingChannel` with a per-hop
+        timeout and bounded, jittered retries.  The first refusal
+        (:class:`SwitchRejection`) or exhausted retry budget
+        (:class:`SignalingTimeout`) unwinds every reservation made so
+        far -- idempotently, so duplicated or re-sent ABORTs are
+        harmless -- and re-raises; the network is then in exactly its
+        pre-setup state.  A route whose advertised bounds sum beyond the
+        requested ``D`` raises :class:`QosUnsatisfiable` without
+        reserving anything.  On success the connection is committed at
+        every hop and recorded.
         """
         if request.name in self._established:
             raise AdmissionError(
@@ -162,21 +219,32 @@ class NetworkCAC:
                 ))
             raise QosUnsatisfiable(request.delay_bound, achievable)
 
+        channel = self._channel(trace)
         committed: List[HopCommitment] = []
         envelope = request.traffic.worst_case_stream()
+        touched = 0
         try:
+            # Phase 1: the SETUP message walks downstream, reserving.
             for index, hop in enumerate(hops):
                 cdv = self.cdv_policy.accumulate(bounds[:index])
                 stream = envelope.delayed(cdv)
-                if trace is not None:
-                    trace.record(SetupMessage(
-                        request.name, hop.switch,
-                        request.traffic.pcr, request.traffic.scr,
-                        request.traffic.mbs, request.delay_bound, cdv,
-                    ))
-                result = self.switch(hop.switch).admit(
-                    request.name, hop.in_link, hop.out_link,
-                    request.priority, stream,
+
+                def process_reserve(hop=hop, cdv=cdv, stream=stream):
+                    if trace is not None:
+                        trace.record(SetupMessage(
+                            request.name, hop.switch,
+                            request.traffic.pcr, request.traffic.scr,
+                            request.traffic.mbs, request.delay_bound, cdv,
+                        ))
+                    return self.switch(hop.switch).reserve(
+                        request.name, hop.in_link, hop.out_link,
+                        request.priority, stream,
+                    )
+
+                touched = index + 1
+                result = channel.deliver(
+                    "reserve", index, hop.switch, hop.in_link,
+                    request.name, process_reserve,
                 )
                 committed.append(HopCommitment(
                     switch=hop.switch,
@@ -186,12 +254,30 @@ class NetworkCAC:
                     advertised_bound=bounds[index],
                     computed_bound=result.computed_bounds[request.priority],
                 ))
+            # Phase 2: the COMMIT wave travels back upstream.
+            for index, hop in reversed(list(enumerate(hops))):
+
+                def process_commit(hop=hop):
+                    if trace is not None:
+                        trace.record(CommitMessage(request.name, hop.switch))
+                    self.switch(hop.switch).commit(request.name)
+
+                channel.deliver(
+                    "commit", index, hop.switch, hop.in_link,
+                    request.name, process_commit,
+                )
         except SwitchRejection as rejection:
-            for commitment in reversed(committed):
-                self.switch(commitment.switch).release(request.name)
+            self._unwind(request.name, hops[:touched], channel, trace)
             if trace is not None:
                 trace.record(RejectMessage(
                     request.name, rejection.switch, str(rejection),
+                ))
+            raise
+        except SignalingTimeout as timeout:
+            self._unwind(request.name, hops[:touched], channel, trace)
+            if trace is not None:
+                trace.record(RejectMessage(
+                    request.name, timeout.at_node, str(timeout),
                 ))
             raise
 
@@ -203,6 +289,40 @@ class NetworkCAC:
                 established.e2e_bound,
             ))
         return established
+
+    def _unwind(self, name: str, hops, channel: SignalingChannel,
+                trace: Optional[SignalingTrace]) -> None:
+        """Abort every hop a failed walk may have touched.
+
+        :meth:`SwitchCAC.rollback` is idempotent, so hops that never
+        actually reserved (the message was lost before arriving) or that
+        receive the ABORT twice are no-ops.  A crashed switch is
+        skipped: its journal recovery discards uncommitted reservations,
+        and :meth:`recover_switch` reconciles anything it had committed.
+        If the ABORT itself cannot be delivered, the switch discards the
+        reservation on its own once its holder falls silent (reservation
+        expiry), modelled here as a direct rollback.
+        """
+        for index, hop in reversed(list(enumerate(hops))):
+            cac = self._switches[hop.switch]
+            if cac.crashed:
+                continue
+
+            def process_abort(hop=hop, cac=cac):
+                if trace is not None:
+                    trace.record(AbortMessage(name, hop.switch))
+                cac.rollback(name)
+
+            try:
+                channel.deliver(
+                    "abort", index, hop.switch, hop.in_link, name,
+                    process_abort,
+                )
+            except SignalingTimeout:
+                try:
+                    cac.rollback(name)
+                except SwitchUnavailable:
+                    pass
 
     def would_admit(self, request: ConnectionRequest) -> bool:
         """Non-mutating admission query.
@@ -223,25 +343,76 @@ class NetworkCAC:
         envelope = request.traffic.worst_case_stream()
         for index, hop in enumerate(request.route.hops()):
             cdv = self.cdv_policy.accumulate(bounds[:index])
-            result = self.switch(hop.switch).check(
-                hop.in_link, hop.out_link, request.priority,
-                envelope.delayed(cdv),
-            )
+            try:
+                result = self.switch(hop.switch).check(
+                    hop.in_link, hop.out_link, request.priority,
+                    envelope.delayed(cdv),
+                )
+            except AdmissionError:
+                # An unserved priority or a crashed switch on the route
+                # means setup could not succeed either.
+                return False
             if not result.admitted:
                 return False
         return True
 
     def teardown(self, name: str,
                  trace: Optional[SignalingTrace] = None) -> None:
-        """Release an established connection at every hop."""
+        """Release an established connection at every hop.
+
+        An unknown (or already-torn-down) connection raises
+        :class:`AdmissionError` before any switch is touched.  Per-hop
+        RELEASE messages travel over the signaling channel and apply the
+        idempotent :meth:`SwitchCAC.rollback`, so duplicated deliveries
+        cannot corrupt the aggregates; a crashed hop is skipped (its
+        reconciliation happens in :meth:`recover_switch`) and an
+        undeliverable RELEASE falls back to reservation expiry, exactly
+        like a failed setup's unwind.
+        """
         try:
             established = self._established.pop(name)
         except KeyError:
             raise AdmissionError(f"no established connection {name!r}") from None
-        for commitment in established.hops:
-            self.switch(commitment.switch).release(name)
-            if trace is not None:
-                trace.record(ReleaseMessage(name, commitment.switch))
+        channel = self._channel(trace)
+        for index, commitment in enumerate(established.hops):
+            cac = self._switches[commitment.switch]
+            if cac.crashed:
+                continue
+
+            def process_release(commitment=commitment, cac=cac):
+                if trace is not None:
+                    trace.record(ReleaseMessage(name, commitment.switch))
+                cac.rollback(name)
+
+            try:
+                channel.deliver(
+                    "release", index, commitment.switch, commitment.in_link,
+                    name, process_release,
+                )
+            except SignalingTimeout:
+                try:
+                    cac.rollback(name)
+                except SwitchUnavailable:
+                    pass
+
+    def recover_switch(self, name: str) -> SwitchCAC:
+        """Bring a crashed switch back and reconcile it with the network.
+
+        The switch first replays its journal
+        (:meth:`SwitchCAC.recover`), which restores its committed state
+        bit-identically and discards in-flight reservations.  The
+        central server then reconciles: a leg the switch committed for
+        a connection the network unwound (e.g. the COMMIT reached this
+        hop but a later fault aborted the walk) is released, so the
+        recovered switch carries exactly the network's committed
+        connections.
+        """
+        cac = self.switch(name)
+        cac.recover()
+        for connection_id in list(cac.legs):
+            if connection_id not in self._established:
+                cac.rollback(connection_id)
+        return cac
 
     def setup_all(self, requests: Iterable[ConnectionRequest]) -> List[EstablishedConnection]:
         """Establish several connections; unwind all of them on failure.

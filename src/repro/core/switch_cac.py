@@ -37,6 +37,18 @@ priority)`` port is memoized with dirty-flag invalidation.  An
 admission check on a loaded port therefore costs O(m) in the aggregate
 breakpoint count rather than O(legs * m).  :meth:`verify_consistency`
 cross-checks every cache against a from-scratch rebuild.
+
+Transactional setup (see ``docs/robustness.md``): the two-phase network
+walk first *reserves* a leg (:meth:`reserve` -- resources held, not yet
+confirmed), then *commits* it (:meth:`commit`); :meth:`rollback` is the
+idempotent unwind primitive that discards a reservation or releases a
+commitment, and shrugs at connections it has never heard of.  Every
+transition is appended to an
+:class:`~repro.robustness.journal.AdmissionJournal` -- the switch's
+stable storage -- so that :meth:`crash` (volatile caches lost) followed
+by :meth:`recover` (op-for-op journal replay, in-flight reservations
+discarded) restores a state bit-identical to the pre-crash committed
+state.
 """
 
 from __future__ import annotations
@@ -45,7 +57,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from ..exceptions import AdmissionError, SwitchRejection
+from ..exceptions import AdmissionError, SwitchRejection, SwitchUnavailable
+from ..robustness.journal import AdmissionJournal
 from .bitstream import BitStream, Number, ZERO_STREAM, aggregate
 from .delay_bound import (
     ServiceCurve,
@@ -164,6 +177,16 @@ class SwitchCAC:
         self._sof_cache: Dict[Tuple[str, int], BitStream] = {}
         #: memoized ServiceCurve per (out_link, priority)
         self._service_cache: Dict[Tuple[str, int], ServiceCurve] = {}
+        #: reserved-but-uncommitted legs of the two-phase walk; they
+        #: hold resources (included in every aggregate) so a concurrent
+        #: walk cannot double-book the port.
+        self._pending: Dict[str, Leg] = {}
+        #: CheckResult per pending reservation, replayed verbatim when a
+        #: duplicate SETUP delivery re-reserves the same leg.
+        self._pending_results: Dict[str, CheckResult] = {}
+        #: stable storage: survives crash(), drives recover().
+        self._journal = AdmissionJournal()
+        self._crashed = False
 
     # ------------------------------------------------------------------
     # Configuration
@@ -211,8 +234,28 @@ class SwitchCAC:
 
     @property
     def legs(self) -> Mapping[str, Leg]:
-        """The currently admitted legs, keyed by connection id."""
+        """The currently admitted (committed) legs, keyed by connection id."""
         return dict(self._legs)
+
+    @property
+    def pending(self) -> Mapping[str, Leg]:
+        """Reserved-but-uncommitted legs of in-flight two-phase walks."""
+        return dict(self._pending)
+
+    @property
+    def journal(self) -> AdmissionJournal:
+        """The append-only admit/release journal (stable storage)."""
+        return self._journal
+
+    @property
+    def crashed(self) -> bool:
+        """True between :meth:`crash` and :meth:`recover`."""
+        return self._crashed
+
+    def _ensure_up(self) -> None:
+        """Refuse CAC work while the volatile state is gone."""
+        if self._crashed:
+            raise SwitchUnavailable(self.name)
 
     def sia(self, in_link: str, out_link: str, priority: int) -> BitStream:
         """``Sia(i, j, p)``: the per-pair per-priority aggregate."""
@@ -432,6 +475,7 @@ class SwitchCAC:
         envelope delayed by the upstream CDV -- belongs to the caller
         because only the route knows the accumulated CDV).
         """
+        self._ensure_up()
         if out_link not in self._advertised:
             raise AdmissionError(
                 f"switch {self.name!r} has no output link {out_link!r}"
@@ -507,7 +551,8 @@ class SwitchCAC:
         bound would be violated, and :class:`AdmissionError` when the
         connection id is already present.
         """
-        if connection_id in self._legs:
+        self._ensure_up()
+        if connection_id in self._legs or connection_id in self._pending:
             raise AdmissionError(
                 f"connection {connection_id!r} already admitted at switch "
                 f"{self.name!r}"
@@ -519,24 +564,202 @@ class SwitchCAC:
                 self.name, out_link, worst.priority,
                 worst.computed_bound, worst.advertised_bound,
             )
-        self._legs[connection_id] = Leg(
-            connection_id, in_link, out_link, priority, stream,
-        )
+        leg = Leg(connection_id, in_link, out_link, priority, stream)
+        self._legs[connection_id] = leg
+        self._journal.append("admit", connection_id, leg)
         self._apply(in_link, out_link, priority, stream, add=True)
         return result
 
     def release(self, connection_id: str) -> Leg:
-        """Tear down a connection, restoring the aggregates (Alg. 3.3)."""
+        """Tear down a committed connection, restoring the aggregates.
+
+        Strict by design (Alg. 3.3 runs exactly once per admission): an
+        unknown or already-released connection raises
+        :class:`AdmissionError` *before* any aggregate is touched, so a
+        double release can never subtract a stream twice and silently
+        corrupt the incremental caches.  Protocol code that must unwind
+        without knowing what the switch still holds uses the idempotent
+        :meth:`rollback` instead.
+        """
+        self._ensure_up()
         try:
             leg = self._legs.pop(connection_id)
         except KeyError:
+            if connection_id in self._pending:
+                raise AdmissionError(
+                    f"connection {connection_id!r} is only reserved (not "
+                    f"committed) at switch {self.name!r}; rollback() is the "
+                    f"way to discard a reservation"
+                ) from None
             raise AdmissionError(
                 f"connection {connection_id!r} is not admitted at switch "
-                f"{self.name!r}"
+                f"{self.name!r} (unknown or already released); aggregates "
+                f"left untouched"
             ) from None
+        self._journal.append("release", connection_id)
         self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
                     add=False)
         return leg
+
+    # ------------------------------------------------------------------
+    # Two-phase setup (reserve -> commit) and crash recovery
+    # ------------------------------------------------------------------
+
+    def reserve(self, connection_id: str, in_link: str, out_link: str,
+                priority: int, stream: BitStream) -> CheckResult:
+        """Phase 1 of the transactional walk: check and hold resources.
+
+        On success the leg is *pending*: it participates in every
+        aggregate (so later checks see it) but is not yet a commitment.
+        Re-delivery of the same SETUP (identical leg) is idempotent and
+        replays the original :class:`CheckResult`; a conflicting
+        reservation or an already-committed id raises
+        :class:`AdmissionError`.
+        """
+        self._ensure_up()
+        if connection_id in self._legs:
+            raise AdmissionError(
+                f"connection {connection_id!r} already admitted at switch "
+                f"{self.name!r}"
+            )
+        held = self._pending.get(connection_id)
+        if held is not None:
+            if (held.in_link == in_link and held.out_link == out_link
+                    and held.priority == priority and held.stream == stream):
+                return self._pending_results[connection_id]
+            raise AdmissionError(
+                f"connection {connection_id!r} already holds a conflicting "
+                f"reservation at switch {self.name!r}"
+            )
+        result = self.check(in_link, out_link, priority, stream)
+        if not result.admitted:
+            worst = result.violations[0]
+            raise SwitchRejection(
+                self.name, out_link, worst.priority,
+                worst.computed_bound, worst.advertised_bound,
+            )
+        leg = Leg(connection_id, in_link, out_link, priority, stream)
+        self._pending[connection_id] = leg
+        self._pending_results[connection_id] = result
+        self._journal.append("reserve", connection_id, leg)
+        self._apply(in_link, out_link, priority, stream, add=True)
+        return result
+
+    def commit(self, connection_id: str) -> Leg:
+        """Phase 2: confirm a reservation.  Idempotent on re-delivery."""
+        self._ensure_up()
+        committed = self._legs.get(connection_id)
+        if committed is not None:
+            return committed
+        try:
+            leg = self._pending.pop(connection_id)
+        except KeyError:
+            raise AdmissionError(
+                f"no reservation for connection {connection_id!r} to commit "
+                f"at switch {self.name!r}"
+            ) from None
+        self._pending_results.pop(connection_id, None)
+        self._legs[connection_id] = leg
+        self._journal.append("commit", connection_id)
+        return leg
+
+    def rollback(self, connection_id: str) -> Optional[Leg]:
+        """Idempotently unwind whatever this switch holds for a connection.
+
+        Discards a pending reservation, releases a commitment, and
+        returns ``None`` (doing nothing) for an unknown id -- exactly
+        the semantics an ABORT/RELEASE message needs, since the sender
+        cannot know how far the receiver got before a fault struck.
+        """
+        self._ensure_up()
+        leg = self._pending.pop(connection_id, None)
+        if leg is not None:
+            self._pending_results.pop(connection_id, None)
+            self._journal.append("abort", connection_id)
+            self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
+                        add=False)
+            return leg
+        leg = self._legs.pop(connection_id, None)
+        if leg is not None:
+            self._journal.append("release", connection_id)
+            self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
+                        add=False)
+            return leg
+        return None
+
+    def crash(self) -> None:
+        """Simulate a node failure: volatile state lost, journal kept.
+
+        The advertised bounds survive too -- they are boot configuration,
+        not run-time state.  Until :meth:`recover` runs, every CAC
+        operation raises :class:`~repro.exceptions.SwitchUnavailable`.
+        """
+        self._crashed = True
+        self._legs.clear()
+        self._pending.clear()
+        self._pending_results.clear()
+        self._sia.clear()
+        self._sif_cache.clear()
+        self._higher_cache.clear()
+        self._sif_higher_cache.clear()
+        self._soa_cache.clear()
+        self._higher_sum_cache.clear()
+        self._sof_cache.clear()
+        self._service_cache.clear()
+
+    def recover(self) -> None:
+        """Rebuild the caches by replaying the journal op-for-op.
+
+        Replaying the exact admit/release sequence (rather than summing
+        the surviving legs) reproduces the incremental arithmetic in its
+        original order, so the recovered committed state is bit-identical
+        to what the switch held before the crash.  Reservations that
+        never committed are in-flight transactions the crash aborted:
+        they are discarded (and journaled as aborts) at the end of the
+        replay.  The result is validated with :meth:`verify_consistency`.
+        """
+        replayed = list(self._journal)
+        self._crashed = False
+        self._legs.clear()
+        self._pending.clear()
+        self._pending_results.clear()
+        self._sia.clear()
+        self._sif_cache.clear()
+        self._higher_cache.clear()
+        self._sif_higher_cache.clear()
+        self._soa_cache.clear()
+        self._higher_sum_cache.clear()
+        self._sof_cache.clear()
+        self._service_cache.clear()
+        for entry in replayed:
+            if entry.op in ("reserve", "admit"):
+                leg = entry.leg
+                target = (self._pending if entry.op == "reserve"
+                          else self._legs)
+                target[entry.connection_id] = leg
+                self._apply(leg.in_link, leg.out_link, leg.priority,
+                            leg.stream, add=True)
+            elif entry.op == "commit":
+                self._legs[entry.connection_id] = self._pending.pop(
+                    entry.connection_id)
+            elif entry.op == "abort":
+                leg = self._pending.pop(entry.connection_id)
+                self._apply(leg.in_link, leg.out_link, leg.priority,
+                            leg.stream, add=False)
+            elif entry.op == "release":
+                leg = self._legs.pop(entry.connection_id)
+                self._apply(leg.in_link, leg.out_link, leg.priority,
+                            leg.stream, add=False)
+        for connection_id in list(self._pending):
+            leg = self._pending.pop(connection_id)
+            self._journal.append("abort", connection_id)
+            self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
+                        add=False)
+        if not self.verify_consistency():
+            raise AdmissionError(
+                f"journal recovery left switch {self.name!r} with "
+                f"inconsistent caches"
+            )
 
     # ------------------------------------------------------------------
     # Diagnostics
@@ -587,10 +810,11 @@ class SwitchCAC:
         it after long admit/release sequences to catch drift.
         """
         fresh: Dict[Tuple[str, str, int], BitStream] = {}
-        for leg in self._legs.values():
-            key = (leg.in_link, leg.out_link, leg.priority)
-            base = fresh.get(key, ZERO_STREAM)
-            fresh[key] = base + leg.stream
+        for legs in (self._legs, self._pending):
+            for leg in legs.values():
+                key = (leg.in_link, leg.out_link, leg.priority)
+                base = fresh.get(key, ZERO_STREAM)
+                fresh[key] = base + leg.stream
         return fresh
 
     def verify_consistency(self, tolerance: float = 1e-9) -> bool:
@@ -635,7 +859,9 @@ class SwitchCAC:
         return True
 
     def __repr__(self) -> str:
+        status = ", crashed" if self._crashed else ""
         return (
             f"SwitchCAC(name={self.name!r}, legs={len(self._legs)}, "
-            f"links={sorted(self._advertised)})"
+            f"pending={len(self._pending)}, "
+            f"links={sorted(self._advertised)}{status})"
         )

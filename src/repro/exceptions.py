@@ -71,6 +71,59 @@ class SwitchRejection(AdmissionError):
         )
 
 
+class RetryExhausted(ReproError, RuntimeError):
+    """A retried operation failed on every allowed attempt.
+
+    Raised by :func:`repro.robustness.retry.retry_call` when the retry
+    budget (attempt count or deadline) runs out; the last transient
+    failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, attempts: int, elapsed: float):
+        self.attempts = attempts
+        self.elapsed = elapsed
+        super().__init__(
+            f"operation failed after {attempts} attempt(s) over "
+            f"{elapsed} time units"
+        )
+
+
+class SignalingTimeout(AdmissionError):
+    """A signaling message got no response within its retry budget.
+
+    The sender cannot distinguish a lost message, a dead link and a
+    crashed switch -- all it observes is silence.  The setup walk treats
+    this as a refusal and unwinds every reservation it made.
+    """
+
+    def __init__(self, connection: str, at_node: str, phase: str,
+                 attempts: int):
+        self.connection = connection
+        self.at_node = at_node
+        self.phase = phase
+        self.attempts = attempts
+        super().__init__(
+            f"{phase} message for connection {connection!r} got no "
+            f"response from node {at_node!r} after {attempts} attempt(s)"
+        )
+
+
+class SwitchUnavailable(AdmissionError):
+    """A crashed (and not yet recovered) switch was asked to do CAC work.
+
+    The volatile CAC state of a crashed switch is gone until
+    :meth:`repro.core.switch_cac.SwitchCAC.recover` replays its journal;
+    until then every check or state transition refuses loudly rather
+    than operating on empty caches.
+    """
+
+    def __init__(self, switch: str):
+        self.switch = switch
+        super().__init__(
+            f"switch {switch!r} is down (crashed and not yet recovered)"
+        )
+
+
 class QosUnsatisfiable(AdmissionError):
     """The route's accumulated advertised bound exceeds the requested QoS."""
 

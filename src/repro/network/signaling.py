@@ -1,31 +1,57 @@
-"""The distributed connection setup sequence (Section 4.1).
+"""The distributed connection setup sequence (Section 4.1), made fallible.
 
 A source end system sends a SETUP message carrying its traffic and QoS
 parameters ``(PCR, SCR, MBS, D)`` along the preselected route.  Every
 switch runs the CAC check; on success it forwards the SETUP downstream,
 on failure it sends a REJECT back upstream (releasing any resources the
 message already reserved).  When the SETUP reaches the destination, a
-CONNECTED message travels back and the source may start sending.
+COMMIT/CONNECTED wave travels back and the source may start sending.
 
-:class:`repro.core.admission.NetworkCAC` drives this sequence; the
-message classes here exist so the walk can be *observed* -- examples and
-tests inspect the trace to show the protocol behaving as described.
+The paper assumes these messages always arrive.  This module drops that
+assumption: :class:`SignalingChannel` delivers every message with a
+per-hop timeout, bounded retries (exponential backoff + full jitter via
+:mod:`repro.robustness.retry`) and an optional
+:class:`~repro.robustness.faults.FaultInjector` that can drop, delay or
+duplicate the message, crash the receiving switch, or fail the link.
+:class:`repro.core.admission.NetworkCAC` drives the two-phase
+reserve -> commit walk over this channel; the message classes here exist
+so the walk can be *observed* -- examples and tests inspect the trace to
+watch the protocol degrade gracefully (:class:`FaultEvent`,
+:class:`RetryEvent`) and still unwind to a consistent state.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, TypeVar, Union
 
 from ..core.bitstream import Number
+from ..exceptions import RetryExhausted, SignalingTimeout, SwitchUnavailable
+from ..robustness.faults import (
+    CRASH,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    LINK_FAIL,
+    FaultInjector,
+)
+from ..robustness.retry import ManualClock, RetryPolicy, retry_call
 
 __all__ = [
     "SetupMessage",
     "RejectMessage",
     "ConnectedMessage",
     "ReleaseMessage",
+    "CommitMessage",
+    "AbortMessage",
+    "FaultEvent",
+    "RetryEvent",
     "SignalingTrace",
+    "SignalingChannel",
 ]
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -33,7 +59,9 @@ class SetupMessage:
     """SETUP processed (and forwarded) at one node.
 
     ``cdv_in`` is the accumulated delay variation the node's CAC check
-    assumed -- it grows hop by hop per the CDV policy in force.
+    assumed -- it grows hop by hop per the CDV policy in force.  In the
+    two-phase walk a SETUP *reserves*; resources are held but the
+    connection may not send until the COMMIT wave confirms every hop.
     """
 
     connection: str
@@ -71,7 +99,61 @@ class ReleaseMessage:
     at_node: str
 
 
-Message = Union[SetupMessage, RejectMessage, ConnectedMessage, ReleaseMessage]
+@dataclass(frozen=True)
+class CommitMessage:
+    """Phase-2 confirmation turning a hop's reservation into a commitment."""
+
+    connection: str
+    at_node: str
+
+
+@dataclass(frozen=True)
+class AbortMessage:
+    """Unwind of a reservation after a mid-walk failure."""
+
+    connection: str
+    at_node: str
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """An injected fault striking one delivery attempt.
+
+    ``kind`` is one of the :mod:`repro.robustness.faults` constants
+    (plus ``"link-down"`` for deliveries lost on an already-failed
+    link); ``detail`` carries the delay or link name where relevant.
+    """
+
+    connection: str
+    at_node: str
+    phase: str
+    hop: int
+    kind: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One retransmission of a signaling message after a timeout."""
+
+    connection: str
+    at_node: str
+    phase: str
+    hop: int
+    attempt: int
+    backoff: float
+
+
+Message = Union[
+    SetupMessage,
+    RejectMessage,
+    ConnectedMessage,
+    ReleaseMessage,
+    CommitMessage,
+    AbortMessage,
+    FaultEvent,
+    RetryEvent,
+]
 
 
 @dataclass
@@ -93,3 +175,160 @@ class SignalingTrace:
 
     def __iter__(self):
         return iter(self.messages)
+
+
+class _Lost(Exception):
+    """Internal: no (timely) response to this delivery attempt."""
+
+
+class SignalingChannel:
+    """Unreliable, retrying message transport for one CAC walk.
+
+    Parameters
+    ----------
+    injector:
+        Optional :class:`~repro.robustness.faults.FaultInjector`
+        consulted on every delivery attempt; ``None`` delivers
+        everything first try.
+    retry_policy:
+        Resend budget per message (attempts, backoff, deadline).
+    clock / rng:
+        Simulated time source and jitter randomness; injected so whole
+        fault schedules replay deterministically.
+    hop_timeout:
+        How long the sender waits for a response before retransmitting.
+    trace:
+        Optional :class:`SignalingTrace` that receives
+        :class:`FaultEvent`/:class:`RetryEvent` records.
+    crash_switch:
+        Callback crashing the named switch (a ``CRASH`` fault fires it).
+
+    The sender cannot tell a dropped message from a dead link or a
+    crashed switch -- every such attempt just looks like silence, costs
+    one ``hop_timeout``, and is retried until the policy gives up, at
+    which point :class:`~repro.exceptions.SignalingTimeout` is raised.
+    A response that arrives *after* the timeout is processed late and
+    retransmitted anyway, so receivers must be idempotent.
+    """
+
+    def __init__(self, injector: Optional[FaultInjector] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 clock: Optional[ManualClock] = None,
+                 rng: Optional[random.Random] = None,
+                 hop_timeout: float = 8.0,
+                 trace: Optional[SignalingTrace] = None,
+                 crash_switch: Optional[Callable[[str], None]] = None):
+        if hop_timeout <= 0:
+            raise ValueError(f"hop_timeout must be positive, got {hop_timeout}")
+        self.injector = injector
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.clock = clock or ManualClock()
+        self.rng = rng or random.Random(0)
+        self.hop_timeout = hop_timeout
+        self.trace = trace
+        self.crash_switch = crash_switch
+
+    # ------------------------------------------------------------------
+
+    def _record_fault(self, connection: str, at_node: str, phase: str,
+                      hop: int, kind: str, detail: str = "") -> None:
+        if self.trace is not None:
+            self.trace.record(FaultEvent(
+                connection, at_node, phase, hop, kind, detail,
+            ))
+
+    def _attempt(self, phase: str, hop: int, at_node: str, link: str,
+                 connection: str, process: Callable[[], T]) -> T:
+        """One delivery attempt; raises :class:`_Lost` on silence."""
+        specs = (self.injector.intercept(phase, hop, connection)
+                 if self.injector is not None else [])
+        lost = False
+        delay = 0.0
+        duplicate = False
+        for spec in specs:
+            if spec.kind == CRASH:
+                if self.crash_switch is not None:
+                    self.crash_switch(at_node)
+                self._record_fault(connection, at_node, phase, hop, CRASH)
+                lost = True
+            elif spec.kind == LINK_FAIL:
+                self.injector.fail_link(link)
+                self._record_fault(connection, at_node, phase, hop,
+                                   LINK_FAIL, detail=link)
+            elif spec.kind == DROP:
+                self._record_fault(connection, at_node, phase, hop, DROP)
+                lost = True
+            elif spec.kind == DELAY:
+                delay = max(delay, spec.delay)
+                self._record_fault(connection, at_node, phase, hop, DELAY,
+                                   detail=str(spec.delay))
+            elif spec.kind == DUPLICATE:
+                duplicate = True
+                self._record_fault(connection, at_node, phase, hop,
+                                   DUPLICATE)
+        if self.injector is not None and self.injector.link_down(link):
+            if not any(spec.kind == LINK_FAIL for spec in specs):
+                self._record_fault(connection, at_node, phase, hop,
+                                   "link-down", detail=link)
+            lost = True
+        if lost:
+            self.clock.advance(self.hop_timeout)
+            raise _Lost(f"no response from {at_node!r}")
+        late = delay > self.hop_timeout
+        self.clock.advance(min(delay, self.hop_timeout))
+        try:
+            result = process()
+        except SwitchUnavailable as unavailable:
+            # A dead switch answers nothing; the sender only sees the
+            # timeout expire.
+            self.clock.advance(self.hop_timeout)
+            raise _Lost(str(unavailable)) from unavailable
+        if duplicate:
+            # The second copy of the message arrives right behind the
+            # first; the receiver must shrug it off.
+            try:
+                process()
+            except SwitchUnavailable:
+                pass
+        if late:
+            # Processed, but the response missed the sender's timeout:
+            # the sender retransmits, and the receiver will see the
+            # same message again (idempotency keeps this safe).
+            raise _Lost(
+                f"response from {at_node!r} arrived after {delay} > "
+                f"timeout {self.hop_timeout}"
+            )
+        return result
+
+    def deliver(self, phase: str, hop: int, at_node: str, link: str,
+                connection: str, process: Callable[[], T]) -> T:
+        """Deliver one message, retrying per the policy.
+
+        ``process()`` applies the message at the receiving switch and
+        returns its response; protocol-level refusals (e.g.
+        :class:`~repro.exceptions.SwitchRejection`) propagate untouched
+        because a REJECT *is* a response.  Raises
+        :class:`~repro.exceptions.SignalingTimeout` once the retry
+        budget is exhausted.
+        """
+        def on_retry(attempt: int, backoff: float,
+                     _exc: BaseException) -> None:
+            if self.trace is not None:
+                self.trace.record(RetryEvent(
+                    connection, at_node, phase, hop, attempt, backoff,
+                ))
+
+        try:
+            return retry_call(
+                lambda _attempt: self._attempt(
+                    phase, hop, at_node, link, connection, process),
+                policy=self.retry_policy,
+                clock=self.clock,
+                rng=self.rng,
+                retry_on=(_Lost,),
+                on_retry=on_retry,
+            )
+        except RetryExhausted as exhausted:
+            raise SignalingTimeout(
+                connection, at_node, phase, exhausted.attempts,
+            ) from exhausted

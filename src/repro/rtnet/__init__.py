@@ -33,6 +33,7 @@ from .evaluation import (
     vbr_workload,
 )
 from .failover import (
+    evacuate_switch,
     failover_capacity,
     failover_capacity_curve,
     wrapped_analysis,
@@ -84,6 +85,7 @@ __all__ = [
     "wrapped_ring_size",
     "wrapped_workload",
     "wrapped_analysis",
+    "evacuate_switch",
     "failover_capacity",
     "failover_capacity_curve",
     "plant_mix_workload",

@@ -23,11 +23,15 @@ same worst-case machinery as the healthy-ring figures.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..analysis.capacity import max_feasible_load
 from ..core.bitstream import Number
 from ..exceptions import TrafficModelError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from ..core.admission import NetworkCAC
+    from ..network.connection import ConnectionRequest
 from .constants import (
     CYCLIC_PRIORITY,
     HIGH_SPEED_DELAY_CELLS,
@@ -43,7 +47,35 @@ __all__ = [
     "wrapped_analysis",
     "failover_capacity",
     "failover_capacity_curve",
+    "evacuate_switch",
 ]
+
+
+def evacuate_switch(cac: "NetworkCAC",
+                    switch_name: str) -> List["ConnectionRequest"]:
+    """Crash one switch and tear down every connection crossing it.
+
+    The moment the wrap-around of Figure 9 must handle: a node dies and
+    the connections routed through it lose their guarantees.  The dead
+    switch's volatile CAC state is gone (its journal survives), so the
+    teardown leans on the robustness machinery -- per-hop release is
+    idempotent and the crashed hop is skipped; calling
+    :meth:`~repro.core.admission.NetworkCAC.recover_switch` afterwards
+    replays the journal and reconciles away the orphaned legs.
+
+    Returns the affected requests, in establishment order, so the
+    caller can re-admit them over wrapped routes and measure the
+    real-time cost of the healed ring with
+    :func:`wrapped_analysis`/:func:`failover_capacity`.
+    """
+    cac.switch(switch_name).crash()
+    affected = [
+        connection.request for connection in cac.established.values()
+        if any(hop.switch == switch_name for hop in connection.hops)
+    ]
+    for request in affected:
+        cac.teardown(request.name)
+    return affected
 
 
 def wrapped_ring_size(ring_nodes: int) -> int:

@@ -12,6 +12,8 @@ from repro.exceptions import AdmissionError, QosUnsatisfiable, SwitchRejection
 from repro.network.connection import ConnectionRequest
 from repro.network.routing import Route, ring_walk, shortest_path
 from repro.network.signaling import (
+    AbortMessage,
+    CommitMessage,
     ConnectedMessage,
     RejectMessage,
     ReleaseMessage,
@@ -193,6 +195,77 @@ class TestSignalling:
             cac.setup(request_over(line, "vc0", "t0.0", "t3.0",
                                    delay_bound=1), trace=trace)
         assert len(trace.of_type(RejectMessage)) == 1
+
+
+class TestMidWalkRollback:
+    """A REJECT at hop k must release hops 1..k-1 and leave every
+    switch's incremental caches consistent -- not just the happy path."""
+
+    def saturated_net(self):
+        # Fill the s1->s2 link almost completely via a shorter route so
+        # a longer walk is rejected exactly at hop index 1 (switch s1).
+        net = line_network(3, bounds={0: 500}, terminals_per_switch=2)
+        cac = NetworkCAC(net)
+        cac.setup(ConnectionRequest(
+            "blocker", cbr(F(9, 10)), shortest_path(net, "t1.0", "t2.0")))
+        return net, cac
+
+    def test_rejection_at_hop_k_releases_upstream_and_stays_consistent(self):
+        net, cac = self.saturated_net()
+        trace = SignalingTrace()
+        victim = ConnectionRequest(
+            "victim", cbr(F(1, 4)), shortest_path(net, "t0.0", "t2.1"))
+        with pytest.raises(SwitchRejection) as excinfo:
+            cac.setup(victim, trace=trace)
+        assert excinfo.value.switch == "s1"
+        # Upstream hop s0 was reserved and must be rolled back; nothing
+        # may linger anywhere, reserved or committed.
+        for name in ("s0", "s1", "s2"):
+            switch = cac.switch(name)
+            assert "victim" not in switch.legs
+            assert "victim" not in switch.pending
+            assert switch.verify_consistency(), name
+        # The unwind was signalled: an ABORT reached the reserved hops.
+        aborted = [m.at_node for m in trace.of_type(AbortMessage)]
+        assert "s0" in aborted
+        rejects = trace.of_type(RejectMessage)
+        assert len(rejects) == 1 and rejects[0].at_node == "s1"
+        # No COMMIT was ever sent for the rejected walk.
+        assert all(m.connection != "victim"
+                   for m in trace.of_type(CommitMessage))
+        # The blocker is untouched and the network still admits within
+        # the remaining capacity.
+        assert set(cac.established) == {"blocker"}
+
+    def test_rollback_restores_admittable_capacity(self):
+        net, cac = self.saturated_net()
+        victim = ConnectionRequest(
+            "victim", cbr(F(1, 4)), shortest_path(net, "t0.0", "t2.1"))
+        with pytest.raises(SwitchRejection):
+            cac.setup(victim)
+        # A small connection over the same upstream hop still fits: the
+        # failed walk leaked nothing into s0's aggregates.
+        small = ConnectionRequest(
+            "small", cbr(F(1, 100)), shortest_path(net, "t0.0", "t1.1"))
+        assert cac.would_admit(small)
+        cac.setup(small)
+        for name in ("s0", "s1", "s2"):
+            assert cac.switch(name).verify_consistency()
+
+
+class TestTwoPhaseTrace:
+    def test_commit_wave_travels_back_upstream(self, line):
+        cac = NetworkCAC(line)
+        trace = SignalingTrace()
+        cac.setup(request_over(line, "vc0", "t0.0", "t3.0"), trace=trace)
+        setups = [m.at_node for m in trace.of_type(SetupMessage)]
+        commits = [m.at_node for m in trace.of_type(CommitMessage)]
+        assert setups == ["s0", "s1", "s2", "s3"]
+        assert commits == ["s3", "s2", "s1", "s0"]
+        # Reservations all precede the first commit.
+        kinds = [type(m).__name__ for m in trace
+                 if isinstance(m, (SetupMessage, CommitMessage))]
+        assert kinds == ["SetupMessage"] * 4 + ["CommitMessage"] * 4
 
 
 class TestRingBroadcast:

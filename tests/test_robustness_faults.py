@@ -1,0 +1,266 @@
+"""Fault injection through the two-phase setup walk.
+
+Each test injects one declarative fault (or a small combination) and
+asserts both the protocol-level outcome (established / refused, what
+the trace shows) and the state-level invariant: after any fault the
+network equals its pre-setup state or holds exactly the committed
+connection, and every switch's caches verify.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.admission import NetworkCAC
+from repro.core.traffic import cbr
+from repro.exceptions import SignalingTimeout, SwitchUnavailable
+from repro.network.connection import ConnectionRequest
+from repro.network.routing import shortest_path
+from repro.network.signaling import (
+    AbortMessage,
+    CommitMessage,
+    FaultEvent,
+    RetryEvent,
+    SetupMessage,
+    SignalingTrace,
+)
+from repro.network.topology import line_network
+from repro.robustness.faults import (
+    CRASH,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    LINK_FAIL,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.robustness.retry import RetryPolicy
+
+
+def make_network():
+    return line_network(4, bounds={0: 32}, terminals_per_switch=1)
+
+
+def make_cac(*faults, max_attempts=3):
+    network = make_network()
+    cac = NetworkCAC(
+        network,
+        fault_injector=FaultInjector(FaultPlan(faults)),
+        retry_policy=RetryPolicy(max_attempts=max_attempts, base_delay=0.5,
+                                 max_delay=4.0),
+    )
+    return network, cac
+
+
+def request_for(network, name="vc0"):
+    return ConnectionRequest(
+        name, cbr(F(1, 8)), shortest_path(network, "t0.0", "t3.0"))
+
+
+def assert_pristine(cac):
+    """The network is in exactly its pre-setup state."""
+    assert cac.established == {}
+    for cac_switch in cac.switches().values():
+        if not cac_switch.crashed:
+            assert cac_switch.legs == {}
+            assert cac_switch.pending == {}
+            assert cac_switch.verify_consistency()
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("explode")
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            FaultSpec(DROP, phase="warmup")
+
+    def test_delay_needs_a_delay(self):
+        with pytest.raises(ValueError, match="positive delay"):
+            FaultSpec(DELAY)
+
+    def test_injector_consumes_counted_specs(self):
+        injector = FaultInjector(FaultPlan([FaultSpec(DROP, hop=1, count=2)]))
+        assert injector.intercept("reserve", 1, "vc0")
+        assert injector.intercept("reserve", 1, "vc0")
+        assert injector.intercept("reserve", 1, "vc0") == []
+        assert injector.exhausted()
+
+    def test_injector_matches_phase_hop_connection(self):
+        spec = FaultSpec(DROP, phase="commit", hop=2, connection="vc1")
+        injector = FaultInjector(FaultPlan([spec]))
+        assert injector.intercept("reserve", 2, "vc1") == []
+        assert injector.intercept("commit", 1, "vc1") == []
+        assert injector.intercept("commit", 2, "vc0") == []
+        assert injector.intercept("commit", 2, "vc1") == [spec]
+
+
+class TestDrop:
+    def test_single_drop_is_retried_and_succeeds(self):
+        network, cac = make_cac(FaultSpec(DROP, phase="reserve", hop=1))
+        trace = SignalingTrace()
+        cac.setup(request_for(network), trace=trace)
+        assert "vc0" in cac.established
+        faults = trace.of_type(FaultEvent)
+        retries = trace.of_type(RetryEvent)
+        assert [event.kind for event in faults] == [DROP]
+        assert len(retries) == 1
+        assert retries[0].at_node == "s1"
+        assert all(sw.verify_consistency() for sw in cac.switches().values())
+
+    def test_drop_burst_exhausts_retries_and_unwinds(self):
+        network, cac = make_cac(
+            FaultSpec(DROP, phase="reserve", hop=2, count=3), max_attempts=3)
+        trace = SignalingTrace()
+        with pytest.raises(SignalingTimeout) as excinfo:
+            cac.setup(request_for(network), trace=trace)
+        assert excinfo.value.at_node == "s2"
+        assert excinfo.value.attempts == 3
+        assert_pristine(cac)
+        # Hops 0..1 reserved before the failure must have seen an abort.
+        aborted = {message.at_node for message in trace.of_type(AbortMessage)}
+        assert {"s0", "s1"} <= aborted
+
+    def test_commit_phase_drop_is_survived(self):
+        network, cac = make_cac(FaultSpec(DROP, phase="commit", hop=3))
+        trace = SignalingTrace()
+        cac.setup(request_for(network), trace=trace)
+        assert "vc0" in cac.established
+        assert len(trace.of_type(RetryEvent)) == 1
+        assert all(sw.verify_consistency() for sw in cac.switches().values())
+
+    def test_simulated_time_advances_on_retries(self):
+        network, cac = make_cac(FaultSpec(DROP, phase="reserve", hop=0))
+        before = cac.clock.now()
+        cac.setup(request_for(network))
+        # At least one hop timeout plus one backoff was waited out.
+        assert cac.clock.now() >= before + cac.hop_timeout
+
+
+class TestDuplicateAndDelay:
+    def test_duplicate_setup_is_idempotent(self):
+        network, cac = make_cac(FaultSpec(DUPLICATE, phase="reserve", hop=1))
+        trace = SignalingTrace()
+        cac.setup(request_for(network), trace=trace)
+        assert "vc0" in cac.established
+        # The duplicate was processed (two SETUPs recorded at s1) without
+        # double-booking the port.
+        setups_at_s1 = [m for m in trace.of_type(SetupMessage)
+                        if m.at_node == "s1"]
+        assert len(setups_at_s1) == 2
+        assert len(cac.switch("s1").legs) == 1
+        assert all(sw.verify_consistency() for sw in cac.switches().values())
+
+    def test_duplicate_commit_is_idempotent(self):
+        network, cac = make_cac(FaultSpec(DUPLICATE, phase="commit", hop=2))
+        trace = SignalingTrace()
+        cac.setup(request_for(network), trace=trace)
+        assert "vc0" in cac.established
+        commits_at_s2 = [m for m in trace.of_type(CommitMessage)
+                         if m.at_node == "s2"]
+        assert len(commits_at_s2) == 2
+        assert all(sw.verify_consistency() for sw in cac.switches().values())
+
+    def test_short_delay_just_slows_the_walk(self):
+        network, cac = make_cac(FaultSpec(DELAY, phase="reserve", hop=1,
+                                          delay=3.0))
+        cac.setup(request_for(network))
+        assert "vc0" in cac.established
+        assert cac.clock.now() >= 3.0
+
+    def test_late_response_is_retransmitted_and_still_consistent(self):
+        # Delay beyond the hop timeout: the reservation is applied late,
+        # the sender retransmits, and the switch must shrug off the
+        # duplicate instead of double-booking.
+        network, cac = make_cac(
+            FaultSpec(DELAY, phase="reserve", hop=1, delay=50.0))
+        trace = SignalingTrace()
+        cac.setup(request_for(network), trace=trace)
+        assert "vc0" in cac.established
+        assert len(cac.switch("s1").legs) == 1
+        assert len(trace.of_type(RetryEvent)) == 1
+        assert all(sw.verify_consistency() for sw in cac.switches().values())
+
+
+class TestCrash:
+    def test_crash_mid_walk_unwinds_and_recovers_empty(self):
+        network, cac = make_cac(FaultSpec(CRASH, phase="reserve", hop=2))
+        trace = SignalingTrace()
+        with pytest.raises(SignalingTimeout):
+            cac.setup(request_for(network), trace=trace)
+        assert cac.switch("s2").crashed
+        assert any(event.kind == CRASH for event in trace.of_type(FaultEvent))
+        assert_pristine(cac)
+        cac.recover_switch("s2")
+        assert not cac.switch("s2").crashed
+        assert cac.switch("s2").legs == {}
+        assert cac.switch("s2").verify_consistency()
+
+    def test_crashed_switch_refuses_cac_work(self):
+        network, cac = make_cac(FaultSpec(CRASH, phase="reserve", hop=1))
+        with pytest.raises(SignalingTimeout):
+            cac.setup(request_for(network))
+        with pytest.raises(SwitchUnavailable):
+            cac.switch("s1").check("l0", "l1", 0,
+                                   cbr(F(1, 8)).worst_case_stream())
+
+    def test_commit_phase_crash_unwinds_committed_hops(self):
+        # The COMMIT wave runs destination-first (hop 3, 2, 1, 0); a
+        # crash at hop 1 happens after hops 3 and 2 already committed,
+        # so the unwind must release commitments, not just reservations.
+        network, cac = make_cac(FaultSpec(CRASH, phase="commit", hop=1))
+        with pytest.raises(SignalingTimeout):
+            cac.setup(request_for(network))
+        assert_pristine(cac)
+        recovered = cac.recover_switch("s1")
+        # Reconciliation: whatever the dead switch had journaled for the
+        # unwound connection is dropped on recovery.
+        assert recovered.legs == {}
+        assert recovered.pending == {}
+        assert recovered.verify_consistency()
+
+    def test_next_connection_succeeds_after_recovery(self):
+        network, cac = make_cac(FaultSpec(CRASH, phase="reserve", hop=2))
+        with pytest.raises(SignalingTimeout):
+            cac.setup(request_for(network, "doomed"))
+        cac.recover_switch("s2")
+        established = cac.setup(request_for(network, "second"))
+        assert established.e2e_bound == 4 * 32
+        assert set(cac.established) == {"second"}
+
+
+class TestLinkFailure:
+    def test_link_failure_mid_walk_unwinds(self):
+        network, cac = make_cac(FaultSpec(LINK_FAIL, phase="reserve", hop=2))
+        trace = SignalingTrace()
+        with pytest.raises(SignalingTimeout):
+            cac.setup(request_for(network), trace=trace)
+        kinds = [event.kind for event in trace.of_type(FaultEvent)]
+        assert LINK_FAIL in kinds
+        assert "link-down" in kinds   # the retries found the link dead
+        assert_pristine(cac)
+
+    def test_failed_link_blocks_later_walks_on_it(self):
+        network, cac = make_cac(FaultSpec(LINK_FAIL, phase="reserve", hop=2))
+        with pytest.raises(SignalingTimeout):
+            cac.setup(request_for(network, "first"))
+        with pytest.raises(SignalingTimeout):
+            cac.setup(request_for(network, "second"))
+        assert_pristine(cac)
+
+
+class TestLosslessDegeneration:
+    def test_no_injector_means_no_fault_traffic(self):
+        network = make_network()
+        cac = NetworkCAC(network)
+        trace = SignalingTrace()
+        cac.setup(request_for(network), trace=trace)
+        assert trace.of_type(FaultEvent) == []
+        assert trace.of_type(RetryEvent) == []
+        assert [m.at_node for m in trace.of_type(SetupMessage)] == [
+            "s0", "s1", "s2", "s3"]
+        # COMMIT wave runs destination-first.
+        assert [m.at_node for m in trace.of_type(CommitMessage)] == [
+            "s3", "s2", "s1", "s0"]

@@ -75,3 +75,62 @@ class TestFailoverCapacity:
         one = failover_capacity(1, ring_nodes=8, tolerance=1 / 32)
         many = failover_capacity(8, ring_nodes=8, tolerance=1 / 32)
         assert many[1] <= one[1]
+
+
+class TestEvacuateSwitch:
+    """Crash a node and tear its connections down via the robust path."""
+
+    def make_loaded_cac(self):
+        from fractions import Fraction as F
+
+        from repro.core.admission import NetworkCAC
+        from repro.core.traffic import cbr
+        from repro.network.connection import ConnectionRequest
+        from repro.network.routing import shortest_path
+        from repro.network.topology import line_network
+
+        net = line_network(4, bounds={0: 64}, terminals_per_switch=1)
+        cac = NetworkCAC(net)
+        # "crossing" traverses s1; "local" lives entirely on s3's port.
+        cac.setup(ConnectionRequest(
+            "crossing", cbr(F(1, 10)), shortest_path(net, "t0.0", "t2.0")))
+        cac.setup(ConnectionRequest(
+            "local", cbr(F(1, 10)), shortest_path(net, "t3.0", "t2.0")))
+        return cac
+
+    def test_affected_connections_are_torn_down(self):
+        from repro.rtnet import evacuate_switch
+
+        cac = self.make_loaded_cac()
+        affected = evacuate_switch(cac, "s1")
+        assert [request.name for request in affected] == ["crossing"]
+        assert set(cac.established) == {"local"}
+        assert cac.switch("s1").crashed
+        # Surviving hops of the evacuated connection are clean.
+        for name in ("s0", "s2", "s3"):
+            switch = cac.switch(name)
+            assert "crossing" not in switch.legs
+            assert switch.verify_consistency()
+
+    def test_recovery_reconciles_the_dead_switch(self):
+        from repro.rtnet import evacuate_switch
+
+        cac = self.make_loaded_cac()
+        evacuate_switch(cac, "s1")
+        recovered = cac.recover_switch("s1")
+        # Journal replay resurrects the orphaned leg; reconciliation
+        # against the network's committed set must drop it again.
+        assert recovered.legs == {}
+        assert recovered.verify_consistency()
+        for switch in cac.switches().values():
+            assert switch.verify_consistency()
+
+    def test_evacuated_requests_can_be_readmitted(self):
+        from repro.rtnet import evacuate_switch
+
+        cac = self.make_loaded_cac()
+        affected = evacuate_switch(cac, "s1")
+        cac.recover_switch("s1")
+        for request in affected:
+            cac.setup(request)
+        assert set(cac.established) == {"crossing", "local"}
