@@ -9,9 +9,15 @@ A session-finish hook additionally dumps ``benchmarks/BENCH_core_ops.json``
 whenever the core-ops micro-benchmarks ran: op -> median ns plus the
 stream sizes exercised and the pre-kernel seed baselines, so future PRs
 can track the perf trajectory without re-running the seed.
+
+Observability is switched on for the bench session (set ``REPRO_OBS=0``
+to opt out) and its snapshot -- cache hit rates, kernel path counts --
+is embedded in the artifact under ``"obs"``, so every recorded number
+carries the execution-path evidence behind it.
 """
 
 import json
+import os
 import pathlib
 import sys
 
@@ -29,6 +35,51 @@ SEED_BASELINE_NS = {
 }
 
 _ARTIFACT = pathlib.Path(__file__).parent / "BENCH_core_ops.json"
+
+
+def pytest_sessionstart(session):
+    if os.environ.get("REPRO_OBS", "1") != "0":
+        from repro import obs
+        obs.enable()
+
+
+def _obs_summary():
+    """Cache hit rates and kernel path counts from the bench run."""
+    from repro import obs
+    registry = obs.get_registry()
+    if not registry.enabled:
+        return None
+    hits = {}
+    misses = {}
+    for name, _kind, instruments in registry.families():
+        if name == "cac_cache_hits_total":
+            for instrument in instruments:
+                cache = dict(instrument.labels).get("cache", "?")
+                hits[cache] = hits.get(cache, 0) + instrument.value
+        elif name == "cac_cache_misses_total":
+            for instrument in instruments:
+                cache = dict(instrument.labels).get("cache", "?")
+                misses[cache] = misses.get(cache, 0) + instrument.value
+    caches = {}
+    for cache in sorted(set(hits) | set(misses)):
+        hit = hits.get(cache, 0)
+        miss = misses.get(cache, 0)
+        caches[cache] = {
+            "hits": hit, "misses": miss,
+            "hit_rate": round(hit / (hit + miss), 4) if hit + miss else None,
+        }
+    kernel_paths = {}
+    for name, _kind, instruments in registry.families():
+        if name == "kernel_path_total":
+            for instrument in instruments:
+                labels = dict(instrument.labels)
+                key = f"{labels.get('op', '?')}/{labels.get('path', '?')}"
+                kernel_paths[key] = instrument.value
+    return {
+        "caches": caches,
+        "kernel_path_counts": dict(sorted(kernel_paths.items())),
+        "checks_total": registry.total("cac_checks_total"),
+    }
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -59,6 +110,9 @@ def pytest_sessionfinish(session, exitstatus):
         "stream_sizes": sizes or {},
         "ops": dict(sorted(ops.items())),
     }
+    obs_summary = _obs_summary()
+    if obs_summary is not None:
+        artifact["obs"] = obs_summary
     _ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
 
 

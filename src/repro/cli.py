@@ -11,6 +11,7 @@ Installed as ``repro-eval`` (or run as ``python -m repro.cli``):
    repro-eval fig13
    repro-eval vbr --mbs 1 8 16
    repro-eval failover --terminals 1 16
+   repro-eval obs --prom           # instrumented plant-mix run, metrics dump
    repro-eval --csv fig10          # machine-readable output
 
 Each subcommand prints the same rows the corresponding paper artifact
@@ -85,6 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--terminals", type=int, nargs="+",
                           default=[1, 4, 8, 16])
     failover.add_argument("--ring-nodes", type=int, default=16)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="run the Table 1 plant mix instrumented; dump metrics")
+    obs_cmd.add_argument("--ring-nodes", type=int, default=4)
+    obs_format = obs_cmd.add_mutually_exclusive_group()
+    obs_format.add_argument("--json", action="store_true",
+                            help="emit the metrics as JSON lines")
+    obs_format.add_argument("--prom", action="store_true",
+                            help="emit Prometheus text exposition format")
+    obs_cmd.add_argument("--spans", action="store_true",
+                         help="also print the setup span trees")
 
     return parser
 
@@ -188,6 +200,37 @@ def _run_failover(args) -> None:
           "Failover: capacity before/after a single ring failure")
 
 
+def _run_obs(args) -> None:
+    from . import obs
+    from .obs import export
+    from .robustness.retry import ManualClock
+    from .rtnet.evaluation import establish_workload
+    from .rtnet.workloads import plant_mix_workload
+
+    registry, tracer = obs.enable(clock_source=ManualClock())
+    try:
+        network, established = establish_workload(
+            plant_mix_workload(args.ring_nodes),
+            ring_nodes=args.ring_nodes, terminals_per_node=3,
+        )
+        setups = list(tracer.roots)
+        network.teardown_all()
+        if args.json:
+            print(export.metrics_to_jsonl(registry))
+        elif args.prom:
+            print(export.to_prometheus(registry), end="")
+        else:
+            print(f"plant mix on {args.ring_nodes} ring nodes: "
+                  f"{len(established)} connections established and "
+                  f"torn down")
+            print(export.metrics_table(registry))
+        if args.spans:
+            for root in setups:
+                print(export.format_span_tree(root))
+    finally:
+        obs.disable()
+
+
 _RUNNERS = {
     "table1": _run_table1,
     "fig10": _run_fig10,
@@ -196,6 +239,7 @@ _RUNNERS = {
     "fig13": _run_fig13,
     "vbr": _run_vbr,
     "failover": _run_failover,
+    "obs": _run_obs,
 }
 
 

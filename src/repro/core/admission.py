@@ -49,6 +49,8 @@ from ..network.signaling import (
     SignalingTrace,
 )
 from ..network.topology import Network
+from ..obs import metrics as _om
+from ..obs import spans as _ospans
 from ..robustness.faults import FaultInjector
 from ..robustness.retry import ManualClock, RetryPolicy
 from .accumulation import CdvPolicy, make_policy
@@ -205,6 +207,17 @@ class NetworkCAC:
             raise AdmissionError(
                 f"connection {request.name!r} is already established"
             )
+        registry = _om.get_registry()
+        started = self.clock.now()
+
+        def _finish(outcome: str) -> None:
+            if registry.enabled:
+                registry.counter("network_setups_total",
+                                 outcome=outcome).inc()
+                registry.histogram(
+                    "network_setup_time", buckets=_om.SIGNALING_BUCKETS,
+                ).observe(self.clock.now() - started)
+
         hops = request.route.hops()
         bounds = self._advertised_bounds(request.route, request.priority)
         achievable: Number = 0
@@ -217,69 +230,82 @@ class NetworkCAC:
                     f"achievable bound {achievable} exceeds requested "
                     f"{request.delay_bound}",
                 ))
+            _finish("unsatisfiable")
             raise QosUnsatisfiable(request.delay_bound, achievable)
 
         channel = self._channel(trace)
         committed: List[HopCommitment] = []
         envelope = request.traffic.worst_case_stream()
         touched = 0
-        try:
-            # Phase 1: the SETUP message walks downstream, reserving.
-            for index, hop in enumerate(hops):
-                cdv = self.cdv_policy.accumulate(bounds[:index])
-                stream = envelope.delayed(cdv)
+        with _ospans.span("admission.setup", connection=request.name,
+                          hops=len(hops)) as setup_span:
+            try:
+                # Phase 1: the SETUP message walks downstream, reserving.
+                for index, hop in enumerate(hops):
+                    cdv = self.cdv_policy.accumulate(bounds[:index])
+                    stream = envelope.delayed(cdv)
 
-                def process_reserve(hop=hop, cdv=cdv, stream=stream):
-                    if trace is not None:
-                        trace.record(SetupMessage(
-                            request.name, hop.switch,
-                            request.traffic.pcr, request.traffic.scr,
-                            request.traffic.mbs, request.delay_bound, cdv,
-                        ))
-                    return self.switch(hop.switch).reserve(
-                        request.name, hop.in_link, hop.out_link,
-                        request.priority, stream,
+                    def process_reserve(hop=hop, cdv=cdv, stream=stream):
+                        if trace is not None:
+                            trace.record(SetupMessage(
+                                request.name, hop.switch,
+                                request.traffic.pcr, request.traffic.scr,
+                                request.traffic.mbs, request.delay_bound, cdv,
+                            ))
+                        return self.switch(hop.switch).reserve(
+                            request.name, hop.in_link, hop.out_link,
+                            request.priority, stream,
+                        )
+
+                    touched = index + 1
+                    with _ospans.span("admission.hop",
+                                      connection=request.name, hop=index,
+                                      switch=hop.switch,
+                                      out_link=hop.out_link):
+                        result = channel.deliver(
+                            "reserve", index, hop.switch, hop.in_link,
+                            request.name, process_reserve,
+                        )
+                    committed.append(HopCommitment(
+                        switch=hop.switch,
+                        in_link=hop.in_link,
+                        out_link=hop.out_link,
+                        cdv_in=cdv,
+                        advertised_bound=bounds[index],
+                        computed_bound=result.computed_bounds[request.priority],
+                    ))
+                # Phase 2: the COMMIT wave travels back upstream.
+                for index, hop in reversed(list(enumerate(hops))):
+
+                    def process_commit(hop=hop):
+                        if trace is not None:
+                            trace.record(CommitMessage(request.name,
+                                                       hop.switch))
+                        self.switch(hop.switch).commit(request.name)
+
+                    channel.deliver(
+                        "commit", index, hop.switch, hop.in_link,
+                        request.name, process_commit,
                     )
-
-                touched = index + 1
-                result = channel.deliver(
-                    "reserve", index, hop.switch, hop.in_link,
-                    request.name, process_reserve,
-                )
-                committed.append(HopCommitment(
-                    switch=hop.switch,
-                    in_link=hop.in_link,
-                    out_link=hop.out_link,
-                    cdv_in=cdv,
-                    advertised_bound=bounds[index],
-                    computed_bound=result.computed_bounds[request.priority],
-                ))
-            # Phase 2: the COMMIT wave travels back upstream.
-            for index, hop in reversed(list(enumerate(hops))):
-
-                def process_commit(hop=hop):
-                    if trace is not None:
-                        trace.record(CommitMessage(request.name, hop.switch))
-                    self.switch(hop.switch).commit(request.name)
-
-                channel.deliver(
-                    "commit", index, hop.switch, hop.in_link,
-                    request.name, process_commit,
-                )
-        except SwitchRejection as rejection:
-            self._unwind(request.name, hops[:touched], channel, trace)
-            if trace is not None:
-                trace.record(RejectMessage(
-                    request.name, rejection.switch, str(rejection),
-                ))
-            raise
-        except SignalingTimeout as timeout:
-            self._unwind(request.name, hops[:touched], channel, trace)
-            if trace is not None:
-                trace.record(RejectMessage(
-                    request.name, timeout.at_node, str(timeout),
-                ))
-            raise
+            except SwitchRejection as rejection:
+                setup_span.tag(outcome="rejected")
+                self._unwind(request.name, hops[:touched], channel, trace)
+                if trace is not None:
+                    trace.record(RejectMessage(
+                        request.name, rejection.switch, str(rejection),
+                    ))
+                _finish("rejected")
+                raise
+            except SignalingTimeout as timeout:
+                setup_span.tag(outcome="timeout")
+                self._unwind(request.name, hops[:touched], channel, trace)
+                if trace is not None:
+                    trace.record(RejectMessage(
+                        request.name, timeout.at_node, str(timeout),
+                    ))
+                _finish("timeout")
+                raise
+            setup_span.tag(outcome="accepted")
 
         established = EstablishedConnection(request, tuple(committed))
         self._established[request.name] = established
@@ -288,6 +314,7 @@ class NetworkCAC:
                 request.name, request.route.destination,
                 established.e2e_bound,
             ))
+        _finish("accepted")
         return established
 
     def _unwind(self, name: str, hops, channel: SignalingChannel,
@@ -394,6 +421,9 @@ class NetworkCAC:
                     cac.rollback(name)
                 except SwitchUnavailable:
                     pass
+        registry = _om.get_registry()
+        if registry.enabled:
+            registry.counter("network_teardowns_total").inc()
 
     def recover_switch(self, name: str) -> SwitchCAC:
         """Bring a crashed switch back and reconcile it with the network.

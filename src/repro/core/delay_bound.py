@@ -38,6 +38,7 @@ import math
 from typing import Optional, Sequence, Tuple
 
 from ..exceptions import BitStreamError
+from ..obs import metrics as _om
 from . import kernels as _kernels
 from .bitstream import BitStream, Number
 
@@ -171,6 +172,27 @@ def delay_at(stream: BitStream, higher: Optional[BitStream], t: Number) -> Numbe
     return departure_time(stream, service, t) - t
 
 
+#: ``(generation, {(op, path): Counter})`` -- the kernel-path counters,
+#: bound lazily and re-bound when the global registry changes.
+_path_counters = (-1, {})
+
+
+def _note_path(op: str, fast: bool) -> None:
+    """Count one bound evaluation on the numpy or scalar path."""
+    global _path_counters
+    generation, counters = _path_counters
+    if generation != _om._generation:
+        counters = {}
+        _path_counters = (_om._generation, counters)
+    key = (op, "numpy" if fast else "scalar")
+    counter = counters.get(key)
+    if counter is None:
+        counter = _om.get_registry().counter(
+            "kernel_path_total", op=op, path=key[1])
+        counters[key] = counter
+    counter.inc()
+
+
 def _fast_kernels(stream: BitStream, higher: Optional[BitStream]):
     """``(stream_kernel, higher_kernel)`` when the float path applies.
 
@@ -223,6 +245,8 @@ def delay_bound(stream: BitStream, higher: Optional[BitStream] = None,
     if not is_stable(stream, higher):
         return math.inf
     fast = _fast_kernels(stream, higher)
+    if _om._registry.enabled:
+        _note_path("delay_bound", fast is not None)
     if fast is not None:
         return _kernels.delay_bound_fast(*fast)
     if service is None:
@@ -270,6 +294,8 @@ def backlog_bound_with_higher(stream: BitStream,
     if not is_stable(stream, higher):
         return math.inf
     fast = _fast_kernels(stream, higher)
+    if _om._registry.enabled:
+        _note_path("backlog_bound", fast is not None)
     if fast is not None:
         return _kernels.backlog_bound_fast(*fast)
     if service is None:

@@ -58,6 +58,9 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..exceptions import AdmissionError, SwitchRejection, SwitchUnavailable
+from ..obs import clock as _oclock
+from ..obs import metrics as _om
+from ..obs import spans as _ospans
 from ..robustness.journal import AdmissionJournal
 from .bitstream import BitStream, Number, ZERO_STREAM, aggregate
 from .delay_bound import (
@@ -67,6 +70,61 @@ from .delay_bound import (
 )
 
 __all__ = ["SwitchCAC", "Leg", "CheckResult", "PriorityBoundViolation"]
+
+#: Derived-aggregate caches whose hit/miss behaviour is observable.
+_CACHES = ("sif", "higher", "sif_higher", "higher_sum", "soa", "sof",
+           "service")
+
+
+class _SwitchMetrics:
+    """Pre-bound metric handles of one switch.
+
+    A labelled registry lookup per cache access would dominate the
+    incremental fast path, so the handles are resolved once and cached
+    on the switch; ``generation`` records which global registry they
+    were bound under, and the owner re-binds when
+    :data:`repro.obs.metrics._generation` moves (i.e. after every
+    ``set_registry``).
+    """
+
+    __slots__ = ("generation", "enabled", "checks", "check_rejections",
+                 "check_seconds", "admits", "reserves", "commits",
+                 "rollbacks", "releases", "incremental", "recoveries",
+                 "recoveries_verified", "replayed", "cache_hits",
+                 "cache_misses")
+
+    def __init__(self, registry, switch: str):
+        self.generation = _om._generation
+        self.enabled = registry.enabled
+        self.checks = registry.counter("cac_checks_total", switch=switch)
+        self.check_rejections = registry.counter(
+            "cac_check_rejections_total", switch=switch)
+        self.check_seconds = registry.histogram(
+            "cac_check_seconds", switch=switch)
+        self.admits = registry.counter("cac_admits_total", switch=switch)
+        self.reserves = registry.counter("cac_reserves_total", switch=switch)
+        self.commits = registry.counter("cac_commits_total", switch=switch)
+        self.rollbacks = registry.counter("cac_rollbacks_total",
+                                          switch=switch)
+        self.releases = registry.counter("cac_releases_total", switch=switch)
+        self.incremental = registry.counter(
+            "cac_incremental_updates_total", switch=switch)
+        self.recoveries = registry.counter("cac_recoveries_total",
+                                           switch=switch)
+        self.recoveries_verified = registry.counter(
+            "cac_recoveries_verified_total", switch=switch)
+        self.replayed = registry.gauge("cac_recovery_replayed_entries",
+                                       switch=switch)
+        self.cache_hits = {
+            cache: registry.counter("cac_cache_hits_total", switch=switch,
+                                    cache=cache)
+            for cache in _CACHES
+        }
+        self.cache_misses = {
+            cache: registry.counter("cac_cache_misses_total", switch=switch,
+                                    cache=cache)
+            for cache in _CACHES
+        }
 
 
 @dataclass(frozen=True)
@@ -187,6 +245,25 @@ class SwitchCAC:
         #: stable storage: survives crash(), drives recover().
         self._journal = AdmissionJournal()
         self._crashed = False
+        #: pre-bound metric handles (re-bound when the registry changes)
+        self._obs = _SwitchMetrics(_om.get_registry(), name)
+
+    # ------------------------------------------------------------------
+    # Observability plumbing
+    # ------------------------------------------------------------------
+
+    def _metrics(self) -> _SwitchMetrics:
+        """The switch's metric handles, re-bound after a registry swap."""
+        obs = self._obs
+        if obs.generation != _om._generation:
+            obs = self._obs = _SwitchMetrics(_om.get_registry(), self.name)
+        return obs
+
+    def _count_cache(self, hit: bool, cache: str) -> None:
+        """Record one derived-aggregate cache hit or rebuild."""
+        obs = self._metrics()
+        if obs.enabled:
+            (obs.cache_hits if hit else obs.cache_misses)[cache].inc()
 
     # ------------------------------------------------------------------
     # Configuration
@@ -270,8 +347,11 @@ class SwitchCAC:
         key = (in_link, out_link, priority)
         cached = self._sif_cache.get(key)
         if cached is None:
+            self._count_cache(False, "sif")
             cached = self._filter(self.sia(in_link, out_link, priority))
             self._sif_cache[key] = cached
+        else:
+            self._count_cache(True, "sif")
         return cached
 
     def _higher_sia(self, in_link: str, out_link: str,
@@ -279,7 +359,10 @@ class SwitchCAC:
         """``Sia(i, j)(p)``: aggregate of priorities higher than ``p``."""
         key = (in_link, out_link, priority)
         cached = self._higher_cache.get(key)
-        if cached is None:
+        if cached is not None:
+            self._count_cache(True, "higher")
+        else:
+            self._count_cache(False, "higher")
             cached = aggregate([
                 stream for (i, j, q), stream in self._sia.items()
                 if i == in_link and j == out_link and q < priority
@@ -293,17 +376,23 @@ class SwitchCAC:
         key = (in_link, out_link, priority)
         cached = self._sif_higher_cache.get(key)
         if cached is None:
+            self._count_cache(False, "sif_higher")
             cached = self._filter(
                 self._higher_sia(in_link, out_link, priority)
             )
             self._sif_higher_cache[key] = cached
+        else:
+            self._count_cache(True, "sif_higher")
         return cached
 
     def _higher_sum(self, out_link: str, priority: int) -> BitStream:
         """``sum_i Sif(i, j)(p)``, the pre-filter output interference."""
         key = (out_link, priority)
         cached = self._higher_sum_cache.get(key)
-        if cached is None:
+        if cached is not None:
+            self._count_cache(True, "higher_sum")
+        else:
+            self._count_cache(False, "higher_sum")
             in_links = sorted({
                 i for (i, j, q) in self._sia
                 if j == out_link and q < priority
@@ -326,7 +415,10 @@ class SwitchCAC:
         """
         key = (out_link, priority)
         base = self._soa_cache.get(key)
-        if base is None:
+        if base is not None:
+            self._count_cache(True, "soa")
+        else:
+            self._count_cache(False, "soa")
             in_links = sorted({
                 i for (i, j, q) in self._sia
                 if j == out_link and q == priority
@@ -354,8 +446,11 @@ class SwitchCAC:
         if extra is None:
             cached = self._sof_cache.get(key)
             if cached is None:
+                self._count_cache(False, "sof")
                 cached = self._higher_sum(out_link, priority).filtered()
                 self._sof_cache[key] = cached
+            else:
+                self._count_cache(True, "sof")
             return cached
         in_link, stream = extra
         combined = self._higher_sia(in_link, out_link, priority) + stream
@@ -369,8 +464,11 @@ class SwitchCAC:
         key = (out_link, priority)
         cached = self._service_cache.get(key)
         if cached is None:
+            self._count_cache(False, "service")
             cached = ServiceCurve(self.sof_higher(out_link, priority))
             self._service_cache[key] = cached
+        else:
+            self._count_cache(True, "service")
         return cached
 
     # ------------------------------------------------------------------
@@ -388,6 +486,9 @@ class SwitchCAC:
         ServiceCurve of affected lower priorities are recomputed, and
         those lazily, on the next check that needs them.
         """
+        obs = self._metrics()
+        if obs.enabled:
+            obs.incremental.inc()
         key = (in_link, out_link, priority)
         old_sia = self.sia(in_link, out_link, priority)
 
@@ -475,6 +576,22 @@ class SwitchCAC:
         envelope delayed by the upstream CDV -- belongs to the caller
         because only the route knows the accumulated CDV).
         """
+        obs = self._metrics()
+        if not obs.enabled and not _ospans._tracer.enabled:
+            return self._check_impl(in_link, out_link, priority, stream)
+        with _ospans.span("admission.check", switch=self.name,
+                          out_link=out_link, priority=priority):
+            start = _oclock.get_clock().now()
+            result = self._check_impl(in_link, out_link, priority, stream)
+            if obs.enabled:
+                obs.checks.inc()
+                obs.check_seconds.observe(_oclock.get_clock().now() - start)
+                if not result.admitted:
+                    obs.check_rejections.inc()
+        return result
+
+    def _check_impl(self, in_link: str, out_link: str, priority: int,
+                    stream: BitStream) -> CheckResult:
         self._ensure_up()
         if out_link not in self._advertised:
             raise AdmissionError(
@@ -568,6 +685,7 @@ class SwitchCAC:
         self._legs[connection_id] = leg
         self._journal.append("admit", connection_id, leg)
         self._apply(in_link, out_link, priority, stream, add=True)
+        self._metrics().admits.inc()
         return result
 
     def release(self, connection_id: str) -> Leg:
@@ -599,6 +717,7 @@ class SwitchCAC:
         self._journal.append("release", connection_id)
         self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
                     add=False)
+        self._metrics().releases.inc()
         return leg
 
     # ------------------------------------------------------------------
@@ -643,6 +762,7 @@ class SwitchCAC:
         self._pending_results[connection_id] = result
         self._journal.append("reserve", connection_id, leg)
         self._apply(in_link, out_link, priority, stream, add=True)
+        self._metrics().reserves.inc()
         return result
 
     def commit(self, connection_id: str) -> Leg:
@@ -661,6 +781,7 @@ class SwitchCAC:
         self._pending_results.pop(connection_id, None)
         self._legs[connection_id] = leg
         self._journal.append("commit", connection_id)
+        self._metrics().commits.inc()
         return leg
 
     def rollback(self, connection_id: str) -> Optional[Leg]:
@@ -678,12 +799,14 @@ class SwitchCAC:
             self._journal.append("abort", connection_id)
             self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
                         add=False)
+            self._metrics().rollbacks.inc()
             return leg
         leg = self._legs.pop(connection_id, None)
         if leg is not None:
             self._journal.append("release", connection_id)
             self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
                         add=False)
+            self._metrics().rollbacks.inc()
             return leg
         return None
 
@@ -755,11 +878,15 @@ class SwitchCAC:
             self._journal.append("abort", connection_id)
             self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
                         add=False)
+        obs = self._metrics()
+        obs.recoveries.inc()
+        obs.replayed.set(len(replayed))
         if not self.verify_consistency():
             raise AdmissionError(
                 f"journal recovery left switch {self.name!r} with "
                 f"inconsistent caches"
             )
+        obs.recoveries_verified.inc()
 
     # ------------------------------------------------------------------
     # Diagnostics

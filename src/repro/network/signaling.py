@@ -23,11 +23,13 @@ watch the protocol degrade gracefully (:class:`FaultEvent`,
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Callable, List, Optional, TypeVar, Union
 
 from ..core.bitstream import Number
 from ..exceptions import RetryExhausted, SignalingTimeout, SwitchUnavailable
+from ..obs import events as _oevents
+from ..obs import metrics as _om
 from ..robustness.faults import (
     CRASH,
     DELAY,
@@ -49,6 +51,7 @@ __all__ = [
     "RetryEvent",
     "SignalingTrace",
     "SignalingChannel",
+    "message_event_fields",
 ]
 
 T = TypeVar("T")
@@ -156,14 +159,47 @@ Message = Union[
 ]
 
 
+#: Message class -> event name on the ``"signaling"`` bus category.
+_EVENT_NAMES = {
+    "SetupMessage": "setup",
+    "RejectMessage": "reject",
+    "ConnectedMessage": "connected",
+    "ReleaseMessage": "release",
+    "CommitMessage": "commit",
+    "AbortMessage": "abort",
+    "FaultEvent": "fault",
+    "RetryEvent": "retry",
+}
+
+
+def message_event_fields(message: Message) -> dict:
+    """A signaling message's payload as plain event fields."""
+    return {
+        f.name: getattr(message, f.name) for f in dataclass_fields(message)
+    }
+
+
 @dataclass
 class SignalingTrace:
-    """An ordered record of the signalling messages a setup produced."""
+    """An ordered record of the signalling messages a setup produced.
+
+    A thin adapter over the structured event bus: every recorded
+    message is emitted as an :class:`~repro.obs.events.Event` in the
+    ``"signaling"`` category (name ``setup``/``commit``/``fault``/...,
+    fields from the message dataclass), so bus subscribers see one
+    unified format; the legacy per-trace ``messages`` list is kept for
+    the existing inspection API.
+    """
 
     messages: List[Message] = field(default_factory=list)
+    bus: Optional[_oevents.EventBus] = None
 
     def record(self, message: Message) -> None:
-        """Append one message to the trace."""
+        """Append one message to the trace and emit it on the bus."""
+        bus = self.bus if self.bus is not None else _oevents.get_bus()
+        if bus.has_subscribers:
+            bus.emit("signaling", _EVENT_NAMES[type(message).__name__],
+                     **message_event_fields(message))
         self.messages.append(message)
 
     def of_type(self, message_type: type) -> List[Message]:
@@ -227,11 +263,16 @@ class SignalingChannel:
         self.hop_timeout = hop_timeout
         self.trace = trace
         self.crash_switch = crash_switch
+        # Channels are per-walk and short-lived; binding the registry
+        # once at construction is cheap and good enough.
+        self._registry = _om.get_registry()
 
     # ------------------------------------------------------------------
 
     def _record_fault(self, connection: str, at_node: str, phase: str,
                       hop: int, kind: str, detail: str = "") -> None:
+        if self._registry.enabled:
+            self._registry.counter("signaling_faults_total", kind=kind).inc()
         if self.trace is not None:
             self.trace.record(FaultEvent(
                 connection, at_node, phase, hop, kind, detail,
@@ -311,15 +352,21 @@ class SignalingChannel:
         :class:`~repro.exceptions.SignalingTimeout` once the retry
         budget is exhausted.
         """
+        registry = self._registry
+
         def on_retry(attempt: int, backoff: float,
                      _exc: BaseException) -> None:
+            if registry.enabled:
+                registry.counter("signaling_retransmits_total",
+                                 phase=phase).inc()
             if self.trace is not None:
                 self.trace.record(RetryEvent(
                     connection, at_node, phase, hop, attempt, backoff,
                 ))
 
+        sent_at = self.clock.now()
         try:
-            return retry_call(
+            result = retry_call(
                 lambda _attempt: self._attempt(
                     phase, hop, at_node, link, connection, process),
                 policy=self.retry_policy,
@@ -329,6 +376,16 @@ class SignalingChannel:
                 on_retry=on_retry,
             )
         except RetryExhausted as exhausted:
+            if registry.enabled:
+                registry.counter("signaling_timeouts_total",
+                                 phase=phase).inc()
             raise SignalingTimeout(
                 connection, at_node, phase, exhausted.attempts,
             ) from exhausted
+        if registry.enabled:
+            registry.counter("signaling_messages_total", phase=phase).inc()
+            registry.histogram(
+                "signaling_hop_rtt", buckets=_om.SIGNALING_BUCKETS,
+                phase=phase,
+            ).observe(self.clock.now() - sent_at)
+        return result

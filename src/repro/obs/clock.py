@@ -1,0 +1,44 @@
+"""The time source shared by metrics timing, spans and events.
+
+Observability timestamps must be *deterministic under injected clocks*
+so that span trees and latency histograms can be asserted exactly in
+tests and replayed fault schedules.  Any object with a ``now() -> float``
+method qualifies -- in particular
+:class:`repro.robustness.retry.ManualClock` -- and the default is a
+monotonic wall clock (:func:`time.perf_counter`).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["SystemClock", "get_clock", "set_clock"]
+
+
+class SystemClock:
+    """Monotonic wall-clock time; the default observability clock."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        """Seconds on the process-local monotonic clock."""
+        return time.perf_counter()
+
+    def __repr__(self) -> str:
+        return "SystemClock()"
+
+
+_clock = SystemClock()
+
+
+def get_clock():
+    """The clock currently stamping spans and events."""
+    return _clock
+
+
+def set_clock(clock):
+    """Install a clock (``now() -> float``); returns the previous one."""
+    global _clock
+    previous = _clock
+    _clock = clock
+    return previous

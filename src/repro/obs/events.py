@@ -1,0 +1,151 @@
+"""The structured event bus unifying the library's ad-hoc records.
+
+Before this module existed the repo had two divergent trace formats --
+:class:`~repro.network.signaling.SignalingTrace` message lists and
+:class:`~repro.sim.trace.CellTracer` journey logs -- plus journal
+entries that were not observable at all.  They now all flow through one
+:class:`EventBus` as :class:`Event` records with a common shape
+``(category, name, time, fields)``, so a single subscriber (a JSONL
+sink, a test assertion, a live dashboard) sees everything.
+
+Emitting to a bus with no subscribers is a length check and a return;
+the legacy APIs stay as thin adapters on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from . import clock as _clock
+
+__all__ = ["Event", "EventBus", "EventLog", "get_bus", "set_bus"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured observation.
+
+    ``category`` groups a source subsystem (``"signaling"``,
+    ``"journal"``, ``"sim.cell"``, ...), ``name`` the event type within
+    it, ``time`` the observability-clock (or caller-supplied) stamp and
+    ``fields`` the payload.
+    """
+
+    category: str
+    name: str
+    time: float
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form, ready for JSON serialization."""
+        return {
+            "category": self.category,
+            "name": self.name,
+            "time": self.time,
+            "fields": dict(self.fields),
+        }
+
+
+class EventBus:
+    """Synchronous publish/subscribe fan-out for :class:`Event` records."""
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[Event], None]] = []
+
+    @property
+    def has_subscribers(self) -> bool:
+        """True when at least one subscriber would see an emit."""
+        return bool(self._subscribers)
+
+    def subscribe(self, fn: Callable[[Event], None]) -> Callable[[], None]:
+        """Register a subscriber; returns a zero-arg unsubscribe."""
+        self._subscribers.append(fn)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(fn)
+            except ValueError:
+                pass
+        return unsubscribe
+
+    def emit(self, category: str, name: str, *,
+             time: Optional[float] = None,
+             **fields: Any) -> Optional[Event]:
+        """Build and publish an event; returns it (None when unheard).
+
+        With no subscribers nothing is allocated -- emit() costs a
+        truthiness check, which is what lets the adapters emit
+        unconditionally.
+        """
+        if not self._subscribers:
+            return None
+        if time is None:
+            time = _clock.get_clock().now()
+        event = Event(category, name, time, fields)
+        self.publish(event)
+        return event
+
+    def publish(self, event: Event) -> None:
+        """Deliver a pre-built event to every subscriber, in order."""
+        for fn in tuple(self._subscribers):
+            fn(event)
+
+    def __repr__(self) -> str:
+        return f"EventBus(subscribers={len(self._subscribers)})"
+
+
+class EventLog:
+    """A list-collecting subscriber (tests, the CLI, quick audits)."""
+
+    def __init__(self, bus: Optional[EventBus] = None,
+                 keep: Optional[int] = None):
+        self.keep = keep
+        self.events: List[Event] = []
+        self._unsubscribe = (bus or get_bus()).subscribe(self._collect)
+
+    def _collect(self, event: Event) -> None:
+        self.events.append(event)
+        if self.keep is not None and len(self.events) > self.keep:
+            del self.events[: len(self.events) - self.keep]
+
+    def of_category(self, category: str) -> List[Event]:
+        """Every collected event of one category, in order."""
+        return [e for e in self.events if e.category == category]
+
+    def close(self) -> None:
+        """Stop collecting (the gathered events stay readable)."""
+        self._unsubscribe()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __repr__(self) -> str:
+        return f"EventLog(events={len(self.events)})"
+
+
+_bus = EventBus()
+
+
+def get_bus() -> EventBus:
+    """The bus the library's adapters emit to."""
+    return _bus
+
+
+def set_bus(bus: EventBus) -> EventBus:
+    """Install a bus; returns the previous one."""
+    global _bus
+    previous = _bus
+    _bus = bus
+    return previous

@@ -1,0 +1,217 @@
+"""Exporters: JSON-lines, Prometheus text exposition, console tables.
+
+Three ways out of the process for the same registry:
+
+* :func:`metrics_to_jsonl` / :func:`samples_from_jsonl` -- one JSON
+  object per instrument, lossless round trip;
+* :func:`to_prometheus` -- the text exposition format scrape endpoints
+  serve (``# HELP`` / ``# TYPE`` headers, ``_bucket``/``_sum``/``_count``
+  histogram series);
+* :func:`metrics_table` -- an aligned console table for humans.
+
+Plus :func:`format_span_tree` for tracer output and
+:class:`JsonlEventSink`, a bus subscriber streaming every
+:class:`~repro.obs.events.Event` as a JSON line.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import IO, Dict, List, Optional, Union
+
+from . import events as _events
+from . import metrics as _metrics
+from .events import Event, EventBus
+from .spans import Span
+
+__all__ = [
+    "metrics_snapshot",
+    "metrics_to_jsonl",
+    "samples_from_jsonl",
+    "to_prometheus",
+    "metrics_table",
+    "format_span_tree",
+    "JsonlEventSink",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+def _registry(registry):
+    return registry if registry is not None else _metrics.get_registry()
+
+
+# ----------------------------------------------------------------------
+# JSON / JSONL
+# ----------------------------------------------------------------------
+
+def metrics_snapshot(registry=None) -> Dict[str, Dict[str, object]]:
+    """Nested plain-dict snapshot (see ``MetricsRegistry.snapshot``)."""
+    return _registry(registry).snapshot()
+
+
+def metrics_to_jsonl(registry=None) -> str:
+    """One JSON object per instrument, newline separated."""
+    return "\n".join(
+        json.dumps(sample, sort_keys=True)
+        for sample in _registry(registry).samples()
+    )
+
+
+def samples_from_jsonl(text: str) -> List[Dict[str, object]]:
+    """Parse :func:`metrics_to_jsonl` output back into sample records."""
+    return [
+        json.loads(line) for line in text.splitlines() if line.strip()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _format_number(value) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != value:  # NaN
+        return "NaN"
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def _label_block(labels, extra=()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry=None) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: List[str] = []
+    for name, kind, instruments in _registry(registry).families():
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid Prometheus metric name {name!r}")
+        help_text = _metrics.METRIC_HELP.get(name, name.replace("_", " "))
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for instrument in instruments:
+            for key, _value in instrument.labels:
+                if not _LABEL_RE.match(key):
+                    raise ValueError(f"invalid Prometheus label {key!r}")
+            if kind == "histogram":
+                for edge, total in instrument.cumulative():
+                    block = _label_block(
+                        instrument.labels, [("le", _format_number(edge))])
+                    lines.append(f"{name}_bucket{block} {total}")
+                block = _label_block(instrument.labels)
+                lines.append(
+                    f"{name}_sum{block} {_format_number(instrument.sum)}")
+                lines.append(f"{name}_count{block} {instrument.count}")
+            else:
+                block = _label_block(instrument.labels)
+                lines.append(
+                    f"{name}{block} {_format_number(instrument.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Console table
+# ----------------------------------------------------------------------
+
+def metrics_table(registry=None, title: str = "metrics") -> str:
+    """An aligned console table of every instrument."""
+    # Imported lazily: repro.analysis pulls in repro.core, which itself
+    # imports repro.obs -- a module-level import here would be a cycle.
+    from ..analysis.report import render_table
+
+    rows: List[List[object]] = []
+    for name, kind, instruments in _registry(registry).families():
+        for instrument in instruments:
+            labels = ",".join(f"{k}={v}" for k, v in instrument.labels)
+            if kind == "histogram":
+                value = (f"count={instrument.count} "
+                         f"sum={_format_number(instrument.sum)}")
+            else:
+                value = _format_number(instrument.value)
+            rows.append([name, kind, labels or "-", value])
+    if not rows:
+        return f"{title}\n(no metrics recorded)"
+    return render_table(["metric", "kind", "labels", "value"], rows,
+                        title=title)
+
+
+# ----------------------------------------------------------------------
+# Span trees
+# ----------------------------------------------------------------------
+
+def format_span_tree(root: Span, indent: int = 0) -> str:
+    """One span tree as an indented text block with durations."""
+    tags = " ".join(f"{k}={v}" for k, v in sorted(root.tags.items()))
+    line = ("  " * indent
+            + f"{root.name} [{_format_number(root.duration)}]"
+            + (f" {tags}" if tags else ""))
+    parts = [line]
+    for child in root.children:
+        parts.append(format_span_tree(child, indent + 1))
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Event sink
+# ----------------------------------------------------------------------
+
+class JsonlEventSink:
+    """Streams every bus event as one JSON line to a file (or stream).
+
+    Usable as a context manager; ``close()`` detaches from the bus and
+    closes the file when this sink opened it.
+    """
+
+    def __init__(self, target: Union[str, IO[str]],
+                 bus: Optional[EventBus] = None):
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.written = 0
+        self._unsubscribe = (bus or _events.get_bus()).subscribe(self._write)
+
+    def _write(self, event: Event) -> None:
+        self._stream.write(
+            json.dumps(event.to_dict(), sort_keys=True, default=str) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        """Detach from the bus; close the file if this sink opened it."""
+        self._unsubscribe()
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"JsonlEventSink(written={self.written})"

@@ -21,6 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from ..obs import events as _oevents
+from ..obs import metrics as _om
+
 __all__ = ["JournalEntry", "AdmissionJournal", "JOURNAL_OPS"]
 
 #: The legal journal operations, in the order a connection moves through
@@ -63,6 +66,13 @@ class AdmissionJournal:
         """Write one entry; returns it with its sequence number."""
         entry = JournalEntry(len(self._entries), op, connection_id, leg)
         self._entries.append(entry)
+        registry = _om.get_registry()
+        if registry.enabled:
+            registry.counter("journal_ops_total", op=op).inc()
+        bus = _oevents.get_bus()
+        if bus.has_subscribers:
+            bus.emit("journal", op, connection_id=connection_id,
+                     sequence=entry.sequence)
         return entry
 
     @property

@@ -15,6 +15,7 @@ import math
 from typing import Callable, List, Optional, Tuple
 
 from ..exceptions import SimulationError
+from ..obs import metrics as _om
 
 __all__ = ["Engine", "EventHandle"]
 
@@ -103,6 +104,9 @@ class Engine:
             handle.callback()
         if until != math.inf and until > self._now:
             self._now = until
+        registry = _om.get_registry()
+        if registry.enabled:
+            registry.gauge("sim_events_processed").set(self._processed)
 
     def peek_next_time(self) -> Optional[float]:
         """Time of the next pending event, or None when drained."""

@@ -11,9 +11,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..obs import metrics as _om
 from .cell import Cell
 
 __all__ = ["ConnectionStats", "Metrics"]
+
+
+#: ``(generation, counter, gauge)`` -- the delivery instruments, bound
+#: lazily and re-bound whenever the global registry is swapped.
+_handles = (-1, None, None)
+
+
+def _instruments():
+    global _handles
+    generation, counter, gauge = _handles
+    if generation != _om._generation:
+        registry = _om.get_registry()
+        counter = registry.counter("sim_cells_delivered_total")
+        gauge = registry.gauge("sim_worst_e2e_delay")
+        _handles = (_om._generation, counter, gauge)
+    return counter, gauge
 
 
 @dataclass
@@ -38,6 +55,10 @@ class ConnectionStats:
         if delay > self.max_e2e_delay:
             self.max_e2e_delay = delay
         self.total_e2e_delay += delay
+        if _om._registry.enabled:
+            counter, gauge = _instruments()
+            counter.inc()
+            gauge.set_max(delay)
         for index, wait in enumerate(cell.hop_waits):
             if index >= len(self.max_hop_waits):
                 self.max_hop_waits.append(wait)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs import events as _oevents
 from .cell import Cell
 from .engine import Engine
 
@@ -86,6 +87,11 @@ class CellTracer:
 
     def observe(self, station: str, cell: Cell) -> None:
         """Record the cell at a station right now."""
+        bus = _oevents.get_bus()
+        if bus.has_subscribers:
+            bus.emit("sim.cell", "observe", time=self.engine.now,
+                     station=station, connection=cell.connection,
+                     sequence=cell.sequence)
         self._journey_for(cell).events.append(
             JourneyEvent(station, self.engine.now))
 

@@ -78,3 +78,36 @@ class TestCommands:
         out = run(capsys, "--csv", "vbr", "--mbs", "1")
         assert "|" not in out
         assert out.startswith("mbs_per_node,max_load")
+
+
+class TestObsCommand:
+    def test_table_output(self, capsys):
+        out = run(capsys, "obs")
+        assert "12 connections established" in out
+        assert "cac_checks_total" in out
+
+    def test_prom_output_is_exposition_format(self, capsys):
+        out = run(capsys, "obs", "--prom")
+        assert "# TYPE cac_checks_total counter" in out
+        assert 'cac_checks_total{switch="ring0"} 9' in out
+        assert "signaling_hop_rtt_bucket" in out
+
+    def test_json_output_is_jsonl(self, capsys):
+        import json
+        out = run(capsys, "obs", "--json")
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert any(r["name"] == "network_setups_total" for r in records)
+
+    def test_spans_output(self, capsys):
+        out = run(capsys, "obs", "--spans")
+        assert "admission.setup" in out
+        assert "admission.hop" in out
+
+    def test_json_and_prom_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "--json", "--prom"])
+
+    def test_observability_is_restored_after_the_run(self, capsys):
+        from repro import obs
+        run(capsys, "obs")
+        assert not obs.enabled()

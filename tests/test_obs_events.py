@@ -1,0 +1,145 @@
+"""The event bus and the adapters feeding it (satellite unification)."""
+
+from fractions import Fraction as F
+
+from repro.core.admission import NetworkCAC
+from repro.core.traffic import cbr
+from repro.network.connection import ConnectionRequest
+from repro.network.routing import shortest_path
+from repro.network.signaling import (
+    SetupMessage,
+    SignalingTrace,
+    message_event_fields,
+)
+from repro.network.topology import line_network
+from repro.obs.events import Event, EventBus, EventLog
+from repro.robustness.journal import AdmissionJournal
+from repro.sim.cell import Cell
+from repro.sim.engine import Engine
+from repro.sim.trace import CellTracer
+
+
+class TestEventBus:
+    def test_emit_without_subscribers_returns_none(self):
+        bus = EventBus()
+        assert not bus.has_subscribers
+        assert bus.emit("cat", "name", x=1) is None
+
+    def test_emit_fans_out_in_subscription_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(("a", e.name)))
+        bus.subscribe(lambda e: seen.append(("b", e.name)))
+        event = bus.emit("cat", "hello", time=3.0, value=7)
+        assert isinstance(event, Event)
+        assert event.time == 3.0 and event.fields == {"value": 7}
+        assert seen == [("a", "hello"), ("b", "hello")]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        bus.emit("cat", "one", time=0.0)
+        unsubscribe()
+        unsubscribe()                       # idempotent
+        bus.emit("cat", "two", time=0.0)
+        assert [e.name for e in seen] == ["one"]
+
+    def test_event_to_dict_round_trips_fields(self):
+        event = Event("journal", "reserve", 1.5, {"connection_id": "vc0"})
+        assert event.to_dict() == {
+            "category": "journal", "name": "reserve", "time": 1.5,
+            "fields": {"connection_id": "vc0"},
+        }
+
+
+class TestEventLog:
+    def test_collects_and_filters_by_category(self):
+        bus = EventBus()
+        with EventLog(bus) as log:
+            bus.emit("a", "x", time=0.0)
+            bus.emit("b", "y", time=0.0)
+        bus.emit("a", "after-close", time=0.0)
+        assert len(log) == 2
+        assert [e.name for e in log.of_category("a")] == ["x"]
+
+    def test_keep_cap(self):
+        bus = EventBus()
+        log = EventLog(bus, keep=2)
+        for index in range(5):
+            bus.emit("a", str(index), time=0.0)
+        assert [e.name for e in log] == ["3", "4"]
+
+
+class TestSignalingAdapter:
+    def test_record_emits_one_event_per_message(self, obs_bus):
+        with EventLog(obs_bus) as log:
+            trace = SignalingTrace()
+            trace.record(SetupMessage("vc0", "sw0", F(1, 8), F(1, 8),
+                                      1, None, 0))
+        assert len(trace) == 1              # legacy list API still works
+        (event,) = log.of_category("signaling")
+        assert event.name == "setup"
+        assert event.fields["connection"] == "vc0"
+        assert event.fields["at_node"] == "sw0"
+
+    def test_full_walk_is_observable_on_the_bus(self, obs_bus):
+        net = line_network(3, bounds={0: 32}, terminals_per_switch=1)
+        cac = NetworkCAC(net)
+        request = ConnectionRequest(
+            "vc0", cbr(F(1, 8)), shortest_path(net, "t0.0", "t2.0"))
+        with EventLog(obs_bus) as log:
+            cac.setup(request, trace=SignalingTrace())
+        names = [e.name for e in log.of_category("signaling")]
+        assert names.count("setup") == 3    # one reserve per hop
+        assert names.count("commit") == 3
+        assert names[-1] == "connected"
+
+    def test_explicit_bus_overrides_the_global(self, obs_bus):
+        private = EventBus()
+        with EventLog(private) as log:
+            trace = SignalingTrace(bus=private)
+            trace.record(SetupMessage("vc0", "sw0", F(1, 8), F(1, 8),
+                                      1, None, 0))
+        assert len(log) == 1
+
+    def test_message_event_fields_cover_the_dataclass(self):
+        message = SetupMessage("vc0", "sw0", F(1, 8), F(1, 8), 1, None, 0)
+        fields = message_event_fields(message)
+        assert fields["pcr"] == F(1, 8)
+        assert set(fields) == {"connection", "at_node", "pcr", "scr",
+                               "mbs", "delay_bound", "cdv_in"}
+
+
+class TestJournalAdapter:
+    def test_append_emits_journal_events(self, obs_bus):
+        journal = AdmissionJournal()
+        with EventLog(obs_bus) as log:
+            journal.append("admit", "vc0", leg="leg")
+            journal.append("release", "vc0")
+        events = log.of_category("journal")
+        assert [(e.name, e.fields["sequence"]) for e in events] == [
+            ("admit", 0), ("release", 1)]
+        assert all(e.fields["connection_id"] == "vc0" for e in events)
+
+    def test_append_without_subscribers_is_silent(self):
+        journal = AdmissionJournal()
+        journal.append("admit", "vc0", leg="leg")
+        assert len(journal) == 1
+
+
+class TestCellTracerAdapter:
+    def test_observe_emits_sim_cell_events(self, obs_bus):
+        engine = Engine()
+        tracer = CellTracer(engine)
+        cell = Cell(connection="vc0", sequence=3, emitted_at=0.0)
+        engine.schedule(2.5, lambda: tracer.observe("sw:out", cell))
+        with EventLog(obs_bus) as log:
+            engine.run()
+        (event,) = log.of_category("sim.cell")
+        assert event.name == "observe"
+        assert event.time == 2.5            # engine time, not obs clock
+        assert event.fields == {"station": "sw:out", "connection": "vc0",
+                                "sequence": 3}
+        # The legacy journey log still fills in.
+        assert tracer.journey("vc0", 3).events[0].station == "sw:out"
