@@ -8,8 +8,11 @@ loaded RTnet port: aggregates of a few hundred breakpoints.
 
 import pytest
 
-from repro.core import SwitchCAC, aggregate, delay_bound
+from repro.core import NetworkCAC, SwitchCAC, aggregate, delay_bound
 from repro.core.traffic import VBRParameters
+from repro.network.connection import ConnectionRequest
+from repro.rtnet.topology import broadcast_route, build_rtnet, terminal_name
+from repro.rtnet.workloads import plant_mix_workload
 
 PARAMS = VBRParameters(pcr=0.5, scr=0.002, mbs=5)
 
@@ -79,3 +82,65 @@ def test_bench_switch_check(benchmark):
     candidate = PARAMS.worst_case_stream().delayed(5.0)
     result = benchmark(lambda: switch.check("in0", "out", 0, candidate))
     assert result.admitted
+
+
+# ----------------------------------------------------------------------
+# bench-batch: the setup_many pipeline against the sequential loop
+# ----------------------------------------------------------------------
+
+#: The batch scenario (embedded in ``BENCH_core_ops.json`` next to the
+#: measured throughput, via ``conftest.pytest_sessionfinish``): the full
+#: Table 1 plant mix on an 8-node ring, three terminals per node.
+BATCH_WORKLOAD = {
+    "workload": "plant_mix_workload",
+    "ring_nodes": 8,
+    "terminals_per_node": 3,
+    "requests": 24,
+}
+
+
+def _batch_scenario():
+    """Fresh ring + the plant-mix broadcast requests (setup untimed)."""
+    net = build_rtnet(BATCH_WORKLOAD["ring_nodes"],
+                      BATCH_WORKLOAD["terminals_per_node"],
+                      bounds={0: 3000.0})
+    cac = NetworkCAC(net)
+    requests = [
+        ConnectionRequest(
+            name=f"bcast-{terminal_name(node, slot)}",
+            traffic=params,
+            route=broadcast_route(net, node, slot),
+            priority=priority,
+        )
+        for (node, slot), (params, priority) in
+        sorted(plant_mix_workload(BATCH_WORKLOAD["ring_nodes"]).items())
+    ]
+    assert len(requests) == BATCH_WORKLOAD["requests"]
+    return (cac, requests), {}
+
+
+def test_bench_setup_sequential(benchmark):
+    """The reference: one full route walk per plant-mix broadcast."""
+    def run(cac, requests):
+        return [cac.setup(request) for request in requests]
+
+    established = benchmark.pedantic(run, setup=_batch_scenario,
+                                     rounds=5, iterations=1)
+    assert len(established) == BATCH_WORKLOAD["requests"]
+
+
+def test_bench_setup_many(benchmark):
+    """The batched pipeline: one shared group check per ring node.
+
+    ``conftest.pytest_sessionfinish`` records the ratio against the
+    sequential loop above under ``"batch_setup"`` in the artifact; the
+    acceptance target is >= 3x on the Table 1 plant mix with the
+    identical admitted set.
+    """
+    def run(cac, requests):
+        return cac.setup_many(requests)
+
+    outcome = benchmark.pedantic(run, setup=_batch_scenario,
+                                 rounds=5, iterations=1)
+    assert not outcome.failures
+    assert len(outcome.established) == BATCH_WORKLOAD["requests"]

@@ -97,6 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="emit Prometheus text exposition format")
     obs_cmd.add_argument("--spans", action="store_true",
                          help="also print the setup span trees")
+    obs_cmd.add_argument("--batched", action="store_true",
+                         help="establish the mix through the batched "
+                              "setup_many pipeline (shared group checks)")
 
     return parser
 
@@ -212,6 +215,7 @@ def _run_obs(args) -> None:
         network, established = establish_workload(
             plant_mix_workload(args.ring_nodes),
             ring_nodes=args.ring_nodes, terminals_per_node=3,
+            batched=args.batched,
         )
         setups = list(tracer.roots)
         network.teardown_all()
@@ -220,9 +224,10 @@ def _run_obs(args) -> None:
         elif args.prom:
             print(export.to_prometheus(registry), end="")
         else:
-            print(f"plant mix on {args.ring_nodes} ring nodes: "
-                  f"{len(established)} connections established and "
-                  f"torn down")
+            pipeline = "batched" if args.batched else "sequential"
+            print(f"plant mix on {args.ring_nodes} ring nodes "
+                  f"({pipeline}): {len(established)} connections "
+                  f"established and torn down")
             print(export.metrics_table(registry))
         if args.spans:
             for root in setups:

@@ -6,13 +6,16 @@ Re-exports the pieces a typical user composes:
 * the bit-stream algebra (:class:`BitStream`, :func:`aggregate`);
 * the worst-case analysis (:func:`delay_bound`);
 * per-switch and network-level admission control
-  (:class:`SwitchCAC`, :class:`NetworkCAC`);
+  (:class:`SwitchCAC`, :class:`NetworkCAC`) with the batched pipeline
+  (:meth:`NetworkCAC.setup_many`) and its layered state backends
+  (:class:`PortState`, :class:`AdmissionStore` -- see
+  ``docs/architecture.md``);
 * CDV accumulation policies (:data:`HARD`, :data:`SOFT`);
 * the baseline schemes used for comparison.
 """
 
 from .accumulation import HARD, SOFT, CdvPolicy, HardCdv, SoftCdv, make_policy
-from .admission import NetworkCAC
+from .admission import BatchSetupResult, NetworkCAC
 from .baseline import (
     BandwidthAllocationCAC,
     PeakBandwidthCAC,
@@ -29,8 +32,20 @@ from .delay_bound import (
     is_stable,
 )
 from .kernels import kernels_enabled
+from .port_state import PortState
 from .server import AdmissionDecision, AuditEntry, CacServer, PlanReport
-from .switch_cac import CheckResult, Leg, PriorityBoundViolation, SwitchCAC
+from .store import (
+    AdmissionStore,
+    InMemoryAdmissionStore,
+    ShardedAdmissionStore,
+)
+from .switch_cac import (
+    BatchCheckResult,
+    CheckResult,
+    Leg,
+    PriorityBoundViolation,
+    SwitchCAC,
+)
 from .traffic import (
     VBRParameters,
     cbr,
@@ -59,8 +74,14 @@ __all__ = [
     "SwitchCAC",
     "Leg",
     "CheckResult",
+    "BatchCheckResult",
     "PriorityBoundViolation",
+    "PortState",
+    "AdmissionStore",
+    "InMemoryAdmissionStore",
+    "ShardedAdmissionStore",
     "NetworkCAC",
+    "BatchSetupResult",
     "CacServer",
     "AdmissionDecision",
     "AuditEntry",

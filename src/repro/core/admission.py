@@ -23,7 +23,18 @@ state and can also answer hypothetical (non-mutating) queries.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..exceptions import (
     AdmissionError,
@@ -40,6 +51,7 @@ from ..network.connection import (
 from ..network.routing import Route
 from ..network.signaling import (
     AbortMessage,
+    BatchSetupMessage,
     CommitMessage,
     ConnectedMessage,
     RejectMessage,
@@ -55,9 +67,34 @@ from ..robustness.faults import FaultInjector
 from ..robustness.retry import ManualClock, RetryPolicy
 from .accumulation import CdvPolicy, make_policy
 from .bitstream import BitStream, Number
-from .switch_cac import SwitchCAC
+from .store import AdmissionStore
+from .switch_cac import BatchCheckResult, Leg, SwitchCAC
 
-__all__ = ["NetworkCAC"]
+__all__ = ["NetworkCAC", "BatchSetupResult"]
+
+
+@dataclass(frozen=True)
+class BatchSetupResult:
+    """Outcome of one :meth:`NetworkCAC.setup_many` call.
+
+    ``established`` lists the admitted connections in request order;
+    ``failures`` maps each refused request's name to the
+    :class:`~repro.exceptions.AdmissionError` a sequential
+    :meth:`NetworkCAC.setup` of that request would have raised.
+    ``batched`` reports whether the shared-group fast path applied
+    (``False`` means the pipeline processed the requests one by one --
+    because faults were injected, or because a group check failed and
+    exact per-request verdicts were needed).
+    """
+
+    established: Tuple[EstablishedConnection, ...]
+    failures: Mapping[str, AdmissionError]
+    batched: bool
+
+    @property
+    def admitted_names(self) -> Tuple[str, ...]:
+        """Names of the admitted connections, in request order."""
+        return tuple(c.name for c in self.established)
 
 
 class NetworkCAC:
@@ -88,6 +125,12 @@ class NetworkCAC:
         Simulated time source and backoff-jitter randomness, injected
         so fault schedules replay deterministically.  The clock is
         shared across all walks of this instance.
+    store_factory:
+        Optional factory mapping a switch name to the
+        :class:`~repro.core.store.AdmissionStore` backend its
+        :class:`SwitchCAC` should use (e.g.
+        ``lambda name: ShardedAdmissionStore(8)``); ``None`` gives
+        every switch the default in-memory store.
 
     Examples
     --------
@@ -111,7 +154,9 @@ class NetworkCAC:
                  retry_policy: Optional[RetryPolicy] = None,
                  hop_timeout: float = 8.0,
                  clock: Optional[ManualClock] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 store_factory: Optional[
+                     Callable[[str], AdmissionStore]] = None):
         self.network = network
         self.cdv_policy = make_policy(cdv_policy)
         self.filter_per_input = filter_per_input
@@ -123,7 +168,10 @@ class NetworkCAC:
         self._switches: Dict[str, SwitchCAC] = {}
         self._established: Dict[str, EstablishedConnection] = {}
         for switch in network.switches():
-            cac = SwitchCAC(switch.name, filter_per_input=filter_per_input)
+            cac = SwitchCAC(
+                switch.name, filter_per_input=filter_per_input,
+                store=store_factory(switch.name) if store_factory else None,
+            )
             for link in network.out_links(switch.name):
                 if link.bounds:
                     cac.configure_link(link.name, link.bounds)
@@ -464,6 +512,192 @@ class NetworkCAC:
         """Release every established connection."""
         for name in list(self._established):
             self.teardown(name)
+
+    # ------------------------------------------------------------------
+    # Batched admission
+    # ------------------------------------------------------------------
+
+    def setup_many(self, requests: Iterable[ConnectionRequest],
+                   trace: Optional[SignalingTrace] = None,
+                   ) -> BatchSetupResult:
+        """Establish a batch of connections with shared admission checks.
+
+        Admits **exactly the same set** as applying :meth:`setup` to the
+        requests one by one in order (catching per-request
+        :class:`AdmissionError`), and leaves every switch -- aggregates,
+        committed legs, journal -- in the bit-identical state.  The
+        difference is cost: when the channel is lossless (no fault
+        injector), the candidate legs are grouped by switch and each
+        switch runs one :meth:`~repro.core.switch_cac.SwitchCAC.check_batch`
+        group check, sharing the aggregate substitution and
+        higher-priority interference sums across every request that
+        crosses the port.  By monotonicity of the delay bound a passing
+        group check proves every sequential prefix admissible, so the
+        apply phase -- request-major reserve -> commit, preserving the
+        per-switch journal order of the sequential walk -- skips the
+        per-leg checks entirely.
+
+        Exactness is never traded away: a failing group check (some
+        request would be refused, but the group verdict cannot say
+        which) and any configured fault injector both fall back to the
+        sequential one-by-one pipeline.
+        """
+        requests = list(requests)
+        if self.fault_injector is not None:
+            # Fault semantics (drops, crashes, retries, clock advances)
+            # are defined per message; only the sequential walk
+            # reproduces them exactly.
+            return self._setup_sequential(requests, trace)
+
+        # Pre-flight: weed out the requests a sequential setup would
+        # refuse before reserving anything.  Pure -- no traces, no
+        # metrics -- so a later fallback cannot double-record.
+        plans: List[Tuple[ConnectionRequest, List[Number], List[Number],
+                          List[BitStream]]] = []
+        preflight: Dict[str, AdmissionError] = {}
+        seen = set(self._established)
+        for request in requests:
+            if request.name in seen:
+                preflight[request.name] = AdmissionError(
+                    f"connection {request.name!r} is already established"
+                )
+                continue
+            try:
+                bounds = self._advertised_bounds(request.route,
+                                                 request.priority)
+            except AdmissionError as exc:
+                preflight[request.name] = exc
+                continue
+            achievable: Number = 0
+            for bound in bounds:
+                achievable += bound
+            if request.delay_bound is not None and \
+                    achievable > request.delay_bound:
+                preflight[request.name] = QosUnsatisfiable(
+                    request.delay_bound, achievable)
+                continue
+            seen.add(request.name)
+            envelope = request.traffic.worst_case_stream()
+            cdvs = [self.cdv_policy.accumulate(bounds[:index])
+                    for index in range(len(bounds))]
+            plans.append((request, bounds, cdvs,
+                          [envelope.delayed(cdv) for cdv in cdvs]))
+
+        # Group the candidate legs by switch (first-touch order) and run
+        # one shared check per switch.  Pure: nothing reserved yet.
+        legs_by_switch: Dict[str, List[Leg]] = {}
+        for request, _bounds, _cdvs, streams in plans:
+            for index, hop in enumerate(request.route.hops()):
+                legs_by_switch.setdefault(hop.switch, []).append(Leg(
+                    request.name, hop.in_link, hop.out_link,
+                    request.priority, streams[index],
+                ))
+        group: Dict[str, BatchCheckResult] = {}
+        all_admitted = True
+        with _ospans.span("admission.setup_many", requests=len(requests),
+                          candidates=len(plans)) as batch_span:
+            for switch_name, legs in legs_by_switch.items():
+                try:
+                    verdict = self.switch(switch_name).check_batch(legs)
+                except AdmissionError:
+                    # e.g. a crashed switch on some route: per-request
+                    # verdicts need the sequential walk.
+                    all_admitted = False
+                    break
+                group[switch_name] = verdict
+                if trace is not None:
+                    trace.record(BatchSetupMessage(
+                        switch_name,
+                        tuple(leg.connection_id for leg in legs),
+                        verdict.admitted,
+                    ))
+                if not verdict.admitted:
+                    all_admitted = False
+            if not all_admitted:
+                batch_span.tag(outcome="fallback")
+                return self._setup_sequential(requests, trace)
+            batch_span.tag(outcome="batched")
+
+            # Commit path.  Emit the traces/metrics the sequential walk
+            # would have produced for the pre-flight refusals...
+            registry = _om.get_registry()
+            started = self.clock.now()
+            for request in requests:
+                failure = preflight.get(request.name)
+                if isinstance(failure, QosUnsatisfiable):
+                    if trace is not None:
+                        trace.record(RejectMessage(
+                            request.name, request.route.source,
+                            f"achievable bound {failure.achievable} exceeds "
+                            f"requested {failure.requested}",
+                        ))
+                    self._record_setup(registry, "unsatisfiable", started)
+
+            # ...then apply the admitted candidates request-major
+            # (reserve every hop downstream, commit back upstream), so
+            # each switch's journal is op-for-op what the sequential
+            # walk writes and crash recovery stays bit-identical.
+            established: List[EstablishedConnection] = []
+            for request, bounds, cdvs, streams in plans:
+                hops = request.route.hops()
+                committed: List[HopCommitment] = []
+                for index, hop in enumerate(hops):
+                    if trace is not None:
+                        trace.record(SetupMessage(
+                            request.name, hop.switch,
+                            request.traffic.pcr, request.traffic.scr,
+                            request.traffic.mbs, request.delay_bound,
+                            cdvs[index],
+                        ))
+                    result = self.switch(hop.switch).reserve_checked(
+                        Leg(request.name, hop.in_link, hop.out_link,
+                            request.priority, streams[index]),
+                        group[hop.switch].results[request.name],
+                    )
+                    committed.append(HopCommitment(
+                        switch=hop.switch,
+                        in_link=hop.in_link,
+                        out_link=hop.out_link,
+                        cdv_in=cdvs[index],
+                        advertised_bound=bounds[index],
+                        computed_bound=result.computed_bounds.get(
+                            request.priority, 0),
+                    ))
+                for index, hop in reversed(list(enumerate(hops))):
+                    if trace is not None:
+                        trace.record(CommitMessage(request.name, hop.switch))
+                    self.switch(hop.switch).commit(request.name)
+                connection = EstablishedConnection(request, tuple(committed))
+                self._established[request.name] = connection
+                established.append(connection)
+                if trace is not None:
+                    trace.record(ConnectedMessage(
+                        request.name, request.route.destination,
+                        connection.e2e_bound,
+                    ))
+                self._record_setup(registry, "accepted", started)
+        return BatchSetupResult(tuple(established), preflight, batched=True)
+
+    def _record_setup(self, registry, outcome: str, started: float) -> None:
+        """One ``network_setups_total`` tick plus the setup-time sample."""
+        if registry.enabled:
+            registry.counter("network_setups_total", outcome=outcome).inc()
+            registry.histogram(
+                "network_setup_time", buckets=_om.SIGNALING_BUCKETS,
+            ).observe(self.clock.now() - started)
+
+    def _setup_sequential(self, requests: Sequence[ConnectionRequest],
+                          trace: Optional[SignalingTrace],
+                          ) -> BatchSetupResult:
+        """The exact reference pipeline: one :meth:`setup` per request."""
+        established: List[EstablishedConnection] = []
+        failures: Dict[str, AdmissionError] = {}
+        for request in requests:
+            try:
+                established.append(self.setup(request, trace))
+            except AdmissionError as exc:
+                failures[request.name] = exc
+        return BatchSetupResult(tuple(established), failures, batched=False)
 
     # ------------------------------------------------------------------
     # Diagnostics

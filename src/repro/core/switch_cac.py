@@ -29,14 +29,18 @@ priority -- in RTnet the size of the priority-``p`` FIFO in cells --
 independent of current load (Section 4.1), which is what lets the
 distributed setup procedure accumulate CDV without iterating.
 
-Incremental bookkeeping (see ``docs/performance.md``): every derived
-aggregate above is cached and *patched* by one ``+``/``-`` delta per
-admit/release instead of being re-aggregated from all legs, and the
-:class:`~repro.core.delay_bound.ServiceCurve` of each ``(out_link,
-priority)`` port is memoized with dirty-flag invalidation.  An
-admission check on a loaded port therefore costs O(m) in the aggregate
-breakpoint count rather than O(legs * m).  :meth:`verify_consistency`
-cross-checks every cache against a from-scratch rebuild.
+Layering (see ``docs/architecture.md``): this class is the admission
+*protocol* -- Steps 1-6, the two-phase transitions, journaling,
+recovery, metrics.  The *state* lives one layer down: every
+``(out_link, priority)`` port is a pure
+:class:`~repro.core.port_state.PortState` holding its aggregates,
+incremental-delta caches and memoized
+:class:`~repro.core.delay_bound.ServiceCurve`, and all ports plus the
+committed/pending leg maps live behind a pluggable
+:class:`~repro.core.store.AdmissionStore` (in-memory by default,
+sharded by output link as the concurrency stepping stone).  Checks,
+journal replay and :meth:`verify_consistency` all go through the same
+store interface, so the backend cannot change admission semantics.
 
 Transactional setup (see ``docs/robustness.md``): the two-phase network
 walk first *reserves* a leg (:meth:`reserve` -- resources held, not yet
@@ -49,13 +53,23 @@ stable storage -- so that :meth:`crash` (volatile caches lost) followed
 by :meth:`recover` (op-for-op journal replay, in-flight reservations
 discarded) restores a state bit-identical to the pre-crash committed
 state.
+
+Batched admission (see ``docs/architecture.md``): :meth:`check_batch`
+evaluates a whole group of candidate legs in one pass, sharing the
+aggregate recomputation and higher-priority interference sums across
+the group.  The group check is *conservative*: it computes each port's
+bounds with **every** candidate admitted at once, so by monotonicity of
+the delay bound in the arrival and interference streams, a passing
+group check proves that admitting the candidates one by one -- in any
+order, any subset -- would also pass.  :meth:`reserve_checked` then
+applies a pre-approved leg without re-running the per-leg check.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import AdmissionError, SwitchRejection, SwitchUnavailable
 from ..obs import clock as _oclock
@@ -63,13 +77,12 @@ from ..obs import metrics as _om
 from ..obs import spans as _ospans
 from ..robustness.journal import AdmissionJournal
 from .bitstream import BitStream, Number, ZERO_STREAM, aggregate
-from .delay_bound import (
-    ServiceCurve,
-    backlog_bound_with_higher,
-    delay_bound,
-)
+from .delay_bound import backlog_bound_with_higher, delay_bound
+from .port_state import PortState
+from .store import AdmissionStore, InMemoryAdmissionStore
 
-__all__ = ["SwitchCAC", "Leg", "CheckResult", "PriorityBoundViolation"]
+__all__ = ["SwitchCAC", "Leg", "CheckResult", "BatchCheckResult",
+           "PriorityBoundViolation"]
 
 #: Derived-aggregate caches whose hit/miss behaviour is observable.
 _CACHES = ("sif", "higher", "sif_higher", "higher_sum", "soa", "sof",
@@ -82,7 +95,7 @@ class _SwitchMetrics:
     A labelled registry lookup per cache access would dominate the
     incremental fast path, so the handles are resolved once and cached
     on the switch; ``generation`` records which global registry they
-    were bound under, and the owner re-binds when
+    were bound under, and :meth:`SwitchCAC._rebind` re-binds when
     :data:`repro.obs.metrics._generation` moves (i.e. after every
     ``set_registry``).
     """
@@ -90,8 +103,8 @@ class _SwitchMetrics:
     __slots__ = ("generation", "enabled", "checks", "check_rejections",
                  "check_seconds", "admits", "reserves", "commits",
                  "rollbacks", "releases", "incremental", "recoveries",
-                 "recoveries_verified", "replayed", "cache_hits",
-                 "cache_misses")
+                 "recoveries_verified", "replayed", "batch_checks",
+                 "batch_legs", "cache_hits", "cache_misses")
 
     def __init__(self, registry, switch: str):
         self.generation = _om._generation
@@ -115,6 +128,10 @@ class _SwitchMetrics:
             "cac_recoveries_verified_total", switch=switch)
         self.replayed = registry.gauge("cac_recovery_replayed_entries",
                                        switch=switch)
+        self.batch_checks = registry.counter("cac_batch_checks_total",
+                                             switch=switch)
+        self.batch_legs = registry.counter("cac_batch_legs_total",
+                                           switch=switch)
         self.cache_hits = {
             cache: registry.counter("cac_cache_hits_total", switch=switch,
                                     cache=cache)
@@ -184,6 +201,31 @@ class CheckResult:
         return not self.violations
 
 
+@dataclass(frozen=True)
+class BatchCheckResult:
+    """Outcome of one :meth:`SwitchCAC.check_batch` group check.
+
+    ``computed_bounds`` maps each checked ``(out_link, priority)`` port
+    to its bound *with every candidate in the batch admitted at once*;
+    ``violations`` maps out links to the bound failures there.  By
+    monotonicity, ``admitted`` implies every candidate would also be
+    admitted individually, in any order; a failing group check says
+    nothing per-candidate -- callers fall back to sequential checks.
+    ``results`` holds one conservative :class:`CheckResult` per
+    candidate connection id (the group bounds of its output link).
+    """
+
+    switch: str
+    computed_bounds: Mapping[Tuple[str, int], Number]
+    violations: Mapping[str, Tuple[PriorityBoundViolation, ...]]
+    results: Mapping[str, CheckResult]
+
+    @property
+    def admitted(self) -> bool:
+        """True when every port keeps its guarantee with the whole batch."""
+        return not any(self.violations.values())
+
+
 class SwitchCAC:
     """CAC bookkeeping and admission checks for a single switch.
 
@@ -197,6 +239,11 @@ class SwitchCAC:
         at the output port, which models the smoothing a real link
         performs and tightens the bounds.  Setting it False reproduces
         the coarser "no link filtering" analysis for the ablation bench.
+    store:
+        The :class:`~repro.core.store.AdmissionStore` backend holding
+        every port's :class:`~repro.core.port_state.PortState` and the
+        two-phase leg maps; defaults to a fresh
+        :class:`~repro.core.store.InMemoryAdmissionStore`.
 
     Examples
     --------
@@ -210,38 +257,13 @@ class SwitchCAC:
     True
     """
 
-    def __init__(self, name: str, filter_per_input: bool = True):
+    def __init__(self, name: str, filter_per_input: bool = True,
+                 store: Optional[AdmissionStore] = None):
         self.name = name
         self.filter_per_input = filter_per_input
-        #: advertised fixed bounds: out_link -> {priority -> D(j, p)}
-        self._advertised: Dict[str, Dict[int, Number]] = {}
-        #: admitted legs by connection id
-        self._legs: Dict[str, Leg] = {}
-        #: Sia(i, j, p) aggregates, maintained incrementally
-        self._sia: Dict[Tuple[str, str, int], BitStream] = {}
-        # ---- derived-aggregate caches, patched by one +/- delta per
-        # ---- admit/release (see _apply) and rebuilt lazily on miss.
-        #: Sif(i, j, p) = filter(Sia(i, j, p))
-        self._sif_cache: Dict[Tuple[str, str, int], BitStream] = {}
-        #: Sia(i, j)(p): per-pair aggregate of priorities higher than p
-        self._higher_cache: Dict[Tuple[str, str, int], BitStream] = {}
-        #: Sif(i, j)(p) = filter(Sia(i, j)(p))
-        self._sif_higher_cache: Dict[Tuple[str, str, int], BitStream] = {}
-        #: Soa(j, p) = sum_i Sif(i, j, p)
-        self._soa_cache: Dict[Tuple[str, int], BitStream] = {}
-        #: sum_i Sif(i, j)(p), before the final output filter
-        self._higher_sum_cache: Dict[Tuple[str, int], BitStream] = {}
-        #: Sof(j)(p) = filter(sum_i Sif(i, j)(p))
-        self._sof_cache: Dict[Tuple[str, int], BitStream] = {}
-        #: memoized ServiceCurve per (out_link, priority)
-        self._service_cache: Dict[Tuple[str, int], ServiceCurve] = {}
-        #: reserved-but-uncommitted legs of the two-phase walk; they
-        #: hold resources (included in every aggregate) so a concurrent
-        #: walk cannot double-book the port.
-        self._pending: Dict[str, Leg] = {}
-        #: CheckResult per pending reservation, replayed verbatim when a
-        #: duplicate SETUP delivery re-reserves the same leg.
-        self._pending_results: Dict[str, CheckResult] = {}
+        #: all CAC state -- ports, caches, committed/pending legs.
+        self._store = store if store is not None else InMemoryAdmissionStore()
+        self._store.attach(filter_per_input, self._count_cache)
         #: stable storage: survives crash(), drives recover().
         self._journal = AdmissionJournal()
         self._crashed = False
@@ -252,8 +274,13 @@ class SwitchCAC:
     # Observability plumbing
     # ------------------------------------------------------------------
 
-    def _metrics(self) -> _SwitchMetrics:
-        """The switch's metric handles, re-bound after a registry swap."""
+    def _rebind(self) -> _SwitchMetrics:
+        """The switch's metric handles, re-bound after a registry swap.
+
+        The single rebinding point shared by the check, reserve, commit,
+        rollback and recovery paths -- call sites never compare
+        generations themselves.
+        """
         obs = self._obs
         if obs.generation != _om._generation:
             obs = self._obs = _SwitchMetrics(_om.get_registry(), self.name)
@@ -261,13 +288,18 @@ class SwitchCAC:
 
     def _count_cache(self, hit: bool, cache: str) -> None:
         """Record one derived-aggregate cache hit or rebuild."""
-        obs = self._metrics()
+        obs = self._rebind()
         if obs.enabled:
             (obs.cache_hits if hit else obs.cache_misses)[cache].inc()
 
     # ------------------------------------------------------------------
     # Configuration
     # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> AdmissionStore:
+        """The pluggable state backend."""
+        return self._store
 
     def configure_link(self, out_link: str,
                        bounds: Mapping[int, Number]) -> None:
@@ -285,25 +317,29 @@ class SwitchCAC:
                     f"advertised bound must be positive, got {bound} for "
                     f"priority {priority}"
                 )
-        self._advertised[out_link] = dict(bounds)
+        self._store.configure_link(out_link, bounds)
 
     def advertised_bound(self, out_link: str, priority: int) -> Number:
         """The fixed bound ``D(j, p)`` the switch guarantees."""
-        try:
-            return self._advertised[out_link][priority]
-        except KeyError:
-            raise AdmissionError(
-                f"switch {self.name!r} does not serve priority {priority} "
-                f"on link {out_link!r}"
-            ) from None
+        if self._store.has_link(out_link) and \
+                priority in self._store.priorities(out_link):
+            return self._store.port(out_link, priority).advertised_bound
+        raise AdmissionError(
+            f"switch {self.name!r} does not serve priority {priority} "
+            f"on link {out_link!r}"
+        )
 
-    def out_links(self) -> Iterable[str]:
-        """Names of the configured output links."""
-        return self._advertised.keys()
+    def out_links(self) -> List[str]:
+        """Names of the configured output links, sorted.
+
+        Deterministic (sorted) so batch grouping, serialization and
+        Prometheus exposition are reproducible across runs.
+        """
+        return self._store.out_links()
 
     def priorities(self, out_link: str) -> List[int]:
         """Real-time priorities served on ``out_link``, highest first."""
-        return sorted(self._advertised[out_link])
+        return self._store.priorities(out_link)
 
     # ------------------------------------------------------------------
     # State access
@@ -312,12 +348,12 @@ class SwitchCAC:
     @property
     def legs(self) -> Mapping[str, Leg]:
         """The currently admitted (committed) legs, keyed by connection id."""
-        return dict(self._legs)
+        return dict(self._store.committed())
 
     @property
     def pending(self) -> Mapping[str, Leg]:
         """Reserved-but-uncommitted legs of in-flight two-phase walks."""
-        return dict(self._pending)
+        return dict(self._store.pending())
 
     @property
     def journal(self) -> AdmissionJournal:
@@ -334,74 +370,16 @@ class SwitchCAC:
         if self._crashed:
             raise SwitchUnavailable(self.name)
 
+    def port(self, out_link: str, priority: int) -> PortState:
+        """The :class:`PortState` of one configured port."""
+        return self._store.port(out_link, priority)
+
     def sia(self, in_link: str, out_link: str, priority: int) -> BitStream:
         """``Sia(i, j, p)``: the per-pair per-priority aggregate."""
-        return self._sia.get((in_link, out_link, priority), ZERO_STREAM)
-
-    def _filter(self, stream: BitStream) -> BitStream:
-        """Per-input link filtering (identity in the ablation mode)."""
-        return stream.filtered() if self.filter_per_input else stream
-
-    def _sif(self, in_link: str, out_link: str, priority: int) -> BitStream:
-        """``Sif(i, j, p)``: the per-input aggregate after link filtering."""
-        key = (in_link, out_link, priority)
-        cached = self._sif_cache.get(key)
-        if cached is None:
-            self._count_cache(False, "sif")
-            cached = self._filter(self.sia(in_link, out_link, priority))
-            self._sif_cache[key] = cached
-        else:
-            self._count_cache(True, "sif")
-        return cached
-
-    def _higher_sia(self, in_link: str, out_link: str,
-                    priority: int) -> BitStream:
-        """``Sia(i, j)(p)``: aggregate of priorities higher than ``p``."""
-        key = (in_link, out_link, priority)
-        cached = self._higher_cache.get(key)
-        if cached is not None:
-            self._count_cache(True, "higher")
-        else:
-            self._count_cache(False, "higher")
-            cached = aggregate([
-                stream for (i, j, q), stream in self._sia.items()
-                if i == in_link and j == out_link and q < priority
-            ])
-            self._higher_cache[key] = cached
-        return cached
-
-    def _sif_higher(self, in_link: str, out_link: str,
-                    priority: int) -> BitStream:
-        """``Sif(i, j)(p)``: the filtered higher-priority aggregate."""
-        key = (in_link, out_link, priority)
-        cached = self._sif_higher_cache.get(key)
-        if cached is None:
-            self._count_cache(False, "sif_higher")
-            cached = self._filter(
-                self._higher_sia(in_link, out_link, priority)
-            )
-            self._sif_higher_cache[key] = cached
-        else:
-            self._count_cache(True, "sif_higher")
-        return cached
-
-    def _higher_sum(self, out_link: str, priority: int) -> BitStream:
-        """``sum_i Sif(i, j)(p)``, the pre-filter output interference."""
-        key = (out_link, priority)
-        cached = self._higher_sum_cache.get(key)
-        if cached is not None:
-            self._count_cache(True, "higher_sum")
-        else:
-            self._count_cache(False, "higher_sum")
-            in_links = sorted({
-                i for (i, j, q) in self._sia
-                if j == out_link and q < priority
-            })
-            cached = aggregate([
-                self._sif_higher(i, out_link, priority) for i in in_links
-            ])
-            self._higher_sum_cache[key] = cached
-        return cached
+        if not self._store.has_link(out_link) or \
+                priority not in self._store.priorities(out_link):
+            return ZERO_STREAM
+        return self._store.port(out_link, priority).sia(in_link)
 
     def soa(self, out_link: str, priority: int,
             replace: Optional[Tuple[str, BitStream]] = None) -> BitStream:
@@ -413,24 +391,7 @@ class SwitchCAC:
         aggregate this is one subtract-and-add delta, O(m), instead of
         a re-aggregation over every incoming link.
         """
-        key = (out_link, priority)
-        base = self._soa_cache.get(key)
-        if base is not None:
-            self._count_cache(True, "soa")
-        else:
-            self._count_cache(False, "soa")
-            in_links = sorted({
-                i for (i, j, q) in self._sia
-                if j == out_link and q == priority
-            })
-            base = aggregate([
-                self._sif(i, out_link, priority) for i in in_links
-            ])
-            self._soa_cache[key] = base
-        if replace is None:
-            return base
-        in_link, replacement = replace
-        return base - self._sif(in_link, out_link, priority) + replacement
+        return self._store.port(out_link, priority).soa(replace=replace)
 
     def sof_higher(self, out_link: str, priority: int,
                    extra: Optional[Tuple[str, BitStream]] = None) -> BitStream:
@@ -442,41 +403,15 @@ class SwitchCAC:
         existing lower priority); like ``replace`` above, the candidate
         variant is an O(m) delta against the cached interference sum.
         """
-        key = (out_link, priority)
-        if extra is None:
-            cached = self._sof_cache.get(key)
-            if cached is None:
-                self._count_cache(False, "sof")
-                cached = self._higher_sum(out_link, priority).filtered()
-                self._sof_cache[key] = cached
-            else:
-                self._count_cache(True, "sof")
-            return cached
-        in_link, stream = extra
-        combined = self._higher_sia(in_link, out_link, priority) + stream
-        total = (self._higher_sum(out_link, priority)
-                 - self._sif_higher(in_link, out_link, priority)
-                 + self._filter(combined))
-        return total.filtered()
-
-    def _service(self, out_link: str, priority: int) -> ServiceCurve:
-        """Memoized ServiceCurve of ``Sof(j)(p)`` for the port."""
-        key = (out_link, priority)
-        cached = self._service_cache.get(key)
-        if cached is None:
-            self._count_cache(False, "service")
-            cached = ServiceCurve(self.sof_higher(out_link, priority))
-            self._service_cache[key] = cached
-        else:
-            self._count_cache(True, "service")
-        return cached
+        return self._store.port(out_link, priority).sof_higher(extra=extra)
 
     # ------------------------------------------------------------------
     # Incremental state transitions
     # ------------------------------------------------------------------
 
     def _apply(self, in_link: str, out_link: str, priority: int,
-               stream: BitStream, add: bool) -> None:
+               stream: BitStream, add: bool,
+               patch_caches: bool = True) -> None:
         """Patch every cached aggregate for one admit/release delta.
 
         Same-priority state -- ``Sia``, ``Sif`` and the ``Soa`` sum --
@@ -484,84 +419,22 @@ class SwitchCAC:
         are updated by a single ``+``/``-`` of the connection's stream
         (Algorithms 3.2/3.3); only the final output filter and the
         ServiceCurve of affected lower priorities are recomputed, and
-        those lazily, on the next check that needs them.
+        those lazily, on the next check that needs them.  The actual
+        patching lives in :meth:`PortState.apply_same` /
+        :meth:`PortState.apply_higher`, orchestrated by
+        :meth:`AdmissionStore.apply_delta`.
+
+        ``patch_caches=False`` (the batched pipeline's bulk mode)
+        invalidates the derived caches instead of patching them --
+        right when a batch is about to touch the same port once per
+        member, making a single lazy rebuild cheaper than the patches.
+        The ground-truth ``Sia`` merge always runs per leg, in order.
         """
-        obs = self._metrics()
+        obs = self._rebind()
         if obs.enabled:
             obs.incremental.inc()
-        key = (in_link, out_link, priority)
-        old_sia = self.sia(in_link, out_link, priority)
-
-        # Snapshot the higher-priority aggregates that must be patched,
-        # *before* mutating _sia (a lazy rebuild below would otherwise
-        # read post-change state).
-        affected = {
-            p for (i, j, p) in list(self._higher_cache)
-            if i == in_link and j == out_link and p > priority
-        }
-        affected.update(
-            p for (i, j, p) in self._sif_higher_cache
-            if i == in_link and j == out_link and p > priority
-        )
-        affected.update(
-            p for caches in (self._higher_sum_cache, self._sof_cache,
-                             self._service_cache)
-            for (j, p) in caches
-            if j == out_link and p > priority
-        )
-        old_higher: Dict[int, BitStream] = {}
-        for p in affected:
-            if (out_link, p) in self._higher_sum_cache:
-                # Force the per-pair aggregate into existence so the sum
-                # can be patched rather than dropped.
-                old_higher[p] = self._higher_sia(in_link, out_link, p)
-            else:
-                old_higher[p] = self._higher_cache.get(
-                    (in_link, out_link, p), None)
-
-        # ---- Sia(i, j, p): the ground-truth incremental aggregate.
-        new_sia = (old_sia + stream) if add else (old_sia - stream)
-        if new_sia.is_zero:
-            self._sia.pop(key, None)
-        else:
-            self._sia[key] = new_sia
-
-        # ---- Same-priority derived state: one O(m) delta on Soa.
-        old_sif = self._sif_cache.get(key)
-        new_sif = self._filter(new_sia)
-        self._sif_cache[key] = new_sif
-        soa_key = (out_link, priority)
-        cached_soa = self._soa_cache.get(soa_key)
-        if cached_soa is not None:
-            if old_sif is None:
-                old_sif = self._filter(old_sia)
-            self._soa_cache[soa_key] = cached_soa - old_sif + new_sif
-
-        # ---- Lower priorities: patch their interference aggregates.
-        for p in affected:
-            hkey = (in_link, out_link, p)
-            sum_key = (out_link, p)
-            previous = old_higher[p]
-            if previous is not None:
-                patched = (previous + stream) if add else (previous - stream)
-                self._higher_cache[hkey] = patched
-                old_hf = self._sif_higher_cache.pop(hkey, None)
-                cached_sum = self._higher_sum_cache.get(sum_key)
-                if cached_sum is not None:
-                    if old_hf is None:
-                        old_hf = self._filter(previous)
-                    new_hf = self._filter(patched)
-                    self._sif_higher_cache[hkey] = new_hf
-                    self._higher_sum_cache[sum_key] = (
-                        cached_sum - old_hf + new_hf
-                    )
-            else:
-                self._sif_higher_cache.pop(hkey, None)
-                self._higher_sum_cache.pop(sum_key, None)
-            # The final output filter and the port's ServiceCurve are
-            # cheap O(m) rebuilds; mark them dirty.
-            self._sof_cache.pop(sum_key, None)
-            self._service_cache.pop(sum_key, None)
+        self._store.apply_delta(in_link, out_link, priority, stream, add,
+                                patch_caches=patch_caches)
 
     # ------------------------------------------------------------------
     # Admission (Steps 1-6)
@@ -576,7 +449,7 @@ class SwitchCAC:
         envelope delayed by the upstream CDV -- belongs to the caller
         because only the route knows the accumulated CDV).
         """
-        obs = self._metrics()
+        obs = self._rebind()
         if not obs.enabled and not _ospans._tracer.enabled:
             return self._check_impl(in_link, out_link, priority, stream)
         with _ospans.span("admission.check", switch=self.name,
@@ -590,19 +463,23 @@ class SwitchCAC:
                     obs.check_rejections.inc()
         return result
 
-    def _check_impl(self, in_link: str, out_link: str, priority: int,
-                    stream: BitStream) -> CheckResult:
-        self._ensure_up()
-        if out_link not in self._advertised:
+    def _validate_port(self, out_link: str, priority: int) -> None:
+        """Raise :class:`AdmissionError` for an unconfigured port."""
+        if not self._store.has_link(out_link):
             raise AdmissionError(
                 f"switch {self.name!r} has no output link {out_link!r}"
             )
-        advertised = self._advertised[out_link]
-        if priority not in advertised:
+        if priority not in self._store.priorities(out_link):
             raise AdmissionError(
                 f"switch {self.name!r} does not serve priority {priority} "
                 f"on link {out_link!r}"
             )
+
+    def _check_impl(self, in_link: str, out_link: str, priority: int,
+                    stream: BitStream) -> CheckResult:
+        self._ensure_up()
+        self._validate_port(out_link, priority)
+        port = self._store.port(out_link, priority)
 
         computed: Dict[int, Number] = {}
         violations: List[PriorityBoundViolation] = []
@@ -614,8 +491,7 @@ class SwitchCAC:
         # zero-delay stream.
         if self.in_link_utilization(in_link) + stream.long_run_rate > 1:
             violations.append(PriorityBoundViolation(
-                priority, math.inf,
-                self._advertised[out_link][priority],
+                priority, math.inf, port.advertised_bound,
             ))
             computed[priority] = math.inf
             return CheckResult(
@@ -626,31 +502,27 @@ class SwitchCAC:
             )
 
         # Step 2-4: the new connection's own priority.
-        new_sia = self.sia(in_link, out_link, priority) + stream
-        new_sif = self._filter(new_sia)
-        new_soa = self.soa(out_link, priority, replace=(in_link, new_sif))
-        bound = delay_bound(new_soa, service=self._service(out_link, priority))
+        new_sia = port.sia(in_link) + stream
+        new_sif = port._filter(new_sia)
+        new_soa = port.soa(replace=(in_link, new_sif))
+        bound = delay_bound(new_soa, service=port.service())
         computed[priority] = bound
-        if bound > advertised[priority]:
+        if bound > port.advertised_bound:
             violations.append(PriorityBoundViolation(
-                priority, bound, advertised[priority],
+                priority, bound, port.advertised_bound,
             ))
 
         # Steps 5-6: every lower real-time priority on the same port.
-        for lower in sorted(advertised):
-            if lower <= priority:
-                continue
-            soa_lower = self.soa(out_link, lower)
+        for lower_port in self._store.ports_below(out_link, priority):
+            soa_lower = lower_port.soa()
             if soa_lower.is_zero:
                 continue  # no traffic to disturb
-            interference = self.sof_higher(
-                out_link, lower, extra=(in_link, stream),
-            )
+            interference = lower_port.sof_higher(extra=(in_link, stream))
             bound = delay_bound(soa_lower, interference)
-            computed[lower] = bound
-            if bound > advertised[lower]:
+            computed[lower_port.priority] = bound
+            if bound > lower_port.advertised_bound:
                 violations.append(PriorityBoundViolation(
-                    lower, bound, advertised[lower],
+                    lower_port.priority, bound, lower_port.advertised_bound,
                 ))
 
         return CheckResult(
@@ -658,6 +530,136 @@ class SwitchCAC:
             out_link=out_link,
             computed_bounds=computed,
             violations=tuple(violations),
+        )
+
+    def check_batch(self, candidates: Sequence[Leg]) -> BatchCheckResult:
+        """One shared admission check for a whole group of candidates.
+
+        Computes, per affected ``(out_link, priority)`` port, the delay
+        bound with **every** candidate leg admitted at once -- one
+        aggregate substitution and one bound evaluation per port
+        instead of one per candidate.  Because the delay bound is
+        monotone in both the arrival stream and the higher-priority
+        interference, a passing group check proves that admitting any
+        subset of the candidates, in any order, passes too; callers use
+        that to skip the per-leg checks entirely.  A failing group
+        check is *not* a per-candidate verdict -- the batch pipeline
+        falls back to sequential checks to find the exact admissible
+        prefix set.
+
+        Does not mutate state.  Raises :class:`AdmissionError` for a
+        candidate on an unconfigured port, exactly like :meth:`check`.
+        """
+        self._ensure_up()
+        obs = self._rebind()
+        if obs.enabled:
+            obs.batch_checks.inc()
+            obs.batch_legs.inc(len(candidates))
+
+        for leg in candidates:
+            self._validate_port(leg.out_link, leg.priority)
+
+        # Group the candidate streams: (out_link, priority) -> in_link
+        # -> aggregated candidate stream (one k-way merge per group).
+        collected: Dict[Tuple[str, int], Dict[str, List[BitStream]]] = {}
+        in_link_rates: Dict[str, Number] = {}
+        for leg in candidates:
+            pair = collected.setdefault((leg.out_link, leg.priority), {})
+            pair.setdefault(leg.in_link, []).append(leg.stream)
+            in_link_rates[leg.in_link] = (
+                in_link_rates.get(leg.in_link, 0)
+                + leg.stream.long_run_rate)
+        grouped: Dict[Tuple[str, int], Dict[str, BitStream]] = {
+            key: {in_link: aggregate(streams)
+                  for in_link, streams in per_input.items()}
+            for key, per_input in collected.items()
+        }
+
+        computed: Dict[Tuple[str, int], Number] = {}
+        violations: Dict[str, List[PriorityBoundViolation]] = {}
+
+        # In-link feasibility of the whole batch: if the total admitted
+        # + candidate rate fits every incoming link, every subset fits.
+        infeasible_links = {
+            in_link for in_link, rate in in_link_rates.items()
+            if self.in_link_utilization(in_link) + rate > 1
+        }
+        if infeasible_links:
+            for (out_link, priority), per_input in sorted(grouped.items()):
+                if not infeasible_links.intersection(per_input):
+                    continue
+                computed[(out_link, priority)] = math.inf
+                violations.setdefault(out_link, []).append(
+                    PriorityBoundViolation(
+                        priority, math.inf,
+                        self._store.port(out_link, priority).advertised_bound,
+                    ))
+            return self._batch_result(candidates, computed, violations)
+
+        affected_links = sorted({out_link for out_link, _p in grouped})
+        for out_link in affected_links:
+            # Candidate streams per priority on this link, for the
+            # "higher-priority interference" side of the lower checks.
+            extras_above: Dict[str, BitStream] = {}
+            for port in self._store.ports_for(out_link):
+                priority = port.priority
+                candidates_here = grouped.get((out_link, priority), {})
+                if not candidates_here and not extras_above:
+                    continue  # port unaffected by the batch
+                if candidates_here:
+                    arrivals = port.soa_with({
+                        in_link: port._filter(port.sia(in_link) + stream)
+                        for in_link, stream in candidates_here.items()
+                    })
+                else:
+                    arrivals = port.soa()
+                if arrivals.is_zero:
+                    pass  # no traffic to disturb
+                else:
+                    if extras_above:
+                        interference = port.sof_higher_with(extras_above)
+                        bound = delay_bound(arrivals, interference)
+                    else:
+                        bound = delay_bound(arrivals, service=port.service())
+                    computed[(out_link, priority)] = bound
+                    if bound > port.advertised_bound:
+                        violations.setdefault(out_link, []).append(
+                            PriorityBoundViolation(
+                                priority, bound, port.advertised_bound,
+                            ))
+                # This priority's candidates interfere with everything
+                # below it on the same link.
+                for in_link, stream in candidates_here.items():
+                    base = extras_above.get(in_link)
+                    extras_above[in_link] = (stream if base is None
+                                             else base + stream)
+
+        return self._batch_result(candidates, computed, violations)
+
+    def _batch_result(self, candidates: Sequence[Leg],
+                      computed: Dict[Tuple[str, int], Number],
+                      violations: Dict[str, List[PriorityBoundViolation]],
+                      ) -> BatchCheckResult:
+        """Assemble the per-candidate views of one group check."""
+        frozen = {out_link: tuple(found)
+                  for out_link, found in violations.items()}
+        results: Dict[str, CheckResult] = {}
+        for leg in candidates:
+            results[leg.connection_id] = CheckResult(
+                switch=self.name,
+                out_link=leg.out_link,
+                computed_bounds={
+                    priority: bound
+                    for (out_link, priority), bound in computed.items()
+                    if out_link == leg.out_link
+                },
+                violations=frozen.get(leg.out_link, ()),
+            )
+        return BatchCheckResult(
+            switch=self.name,
+            computed_bounds=computed,
+            violations=frozen,
+            results=results,
         )
 
     def admit(self, connection_id: str, in_link: str, out_link: str,
@@ -669,7 +671,8 @@ class SwitchCAC:
         connection id is already present.
         """
         self._ensure_up()
-        if connection_id in self._legs or connection_id in self._pending:
+        if self._store.get_committed(connection_id) is not None or \
+                self._store.get_pending(connection_id) is not None:
             raise AdmissionError(
                 f"connection {connection_id!r} already admitted at switch "
                 f"{self.name!r}"
@@ -682,10 +685,10 @@ class SwitchCAC:
                 worst.computed_bound, worst.advertised_bound,
             )
         leg = Leg(connection_id, in_link, out_link, priority, stream)
-        self._legs[connection_id] = leg
+        self._store.put_committed(connection_id, leg)
         self._journal.append("admit", connection_id, leg)
         self._apply(in_link, out_link, priority, stream, add=True)
-        self._metrics().admits.inc()
+        self._rebind().admits.inc()
         return result
 
     def release(self, connection_id: str) -> Leg:
@@ -700,24 +703,23 @@ class SwitchCAC:
         :meth:`rollback` instead.
         """
         self._ensure_up()
-        try:
-            leg = self._legs.pop(connection_id)
-        except KeyError:
-            if connection_id in self._pending:
+        leg = self._store.pop_committed(connection_id)
+        if leg is None:
+            if self._store.get_pending(connection_id) is not None:
                 raise AdmissionError(
                     f"connection {connection_id!r} is only reserved (not "
                     f"committed) at switch {self.name!r}; rollback() is the "
                     f"way to discard a reservation"
-                ) from None
+                )
             raise AdmissionError(
                 f"connection {connection_id!r} is not admitted at switch "
                 f"{self.name!r} (unknown or already released); aggregates "
                 f"left untouched"
-            ) from None
+            )
         self._journal.append("release", connection_id)
         self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
                     add=False)
-        self._metrics().releases.inc()
+        self._rebind().releases.inc()
         return leg
 
     # ------------------------------------------------------------------
@@ -736,20 +738,12 @@ class SwitchCAC:
         :class:`AdmissionError`.
         """
         self._ensure_up()
-        if connection_id in self._legs:
-            raise AdmissionError(
-                f"connection {connection_id!r} already admitted at switch "
-                f"{self.name!r}"
-            )
-        held = self._pending.get(connection_id)
+        self._check_reservable(
+            connection_id, Leg(connection_id, in_link, out_link, priority,
+                               stream))
+        held = self._store.get_pending(connection_id)
         if held is not None:
-            if (held.in_link == in_link and held.out_link == out_link
-                    and held.priority == priority and held.stream == stream):
-                return self._pending_results[connection_id]
-            raise AdmissionError(
-                f"connection {connection_id!r} already holds a conflicting "
-                f"reservation at switch {self.name!r}"
-            )
+            return self._store.pending_result(connection_id)
         result = self.check(in_link, out_link, priority, stream)
         if not result.admitted:
             worst = result.violations[0]
@@ -758,30 +752,64 @@ class SwitchCAC:
                 worst.computed_bound, worst.advertised_bound,
             )
         leg = Leg(connection_id, in_link, out_link, priority, stream)
-        self._pending[connection_id] = leg
-        self._pending_results[connection_id] = result
-        self._journal.append("reserve", connection_id, leg)
-        self._apply(in_link, out_link, priority, stream, add=True)
-        self._metrics().reserves.inc()
+        self._hold(leg, result)
         return result
+
+    def reserve_checked(self, leg: Leg, result: CheckResult) -> CheckResult:
+        """Phase 1 with the admission check already done by a group check.
+
+        The batched pipeline calls this after a passing
+        :meth:`check_batch`: the conservative group bound proved the
+        leg admissible, so the per-leg check is skipped and the
+        (conservative) group :class:`CheckResult` is stored as the
+        reservation's replayable result.  Identical journal, aggregate
+        and metric transitions to :meth:`reserve`.
+        """
+        self._ensure_up()
+        self._check_reservable(leg.connection_id, leg)
+        if self._store.get_pending(leg.connection_id) is not None:
+            return self._store.pending_result(leg.connection_id)
+        self._hold(leg, result, patch_caches=False)
+        return result
+
+    def _check_reservable(self, connection_id: str, leg: Leg) -> None:
+        """Shared reserve-precondition checks (committed/conflicting)."""
+        if self._store.get_committed(connection_id) is not None:
+            raise AdmissionError(
+                f"connection {connection_id!r} already admitted at switch "
+                f"{self.name!r}"
+            )
+        held = self._store.get_pending(connection_id)
+        if held is not None and held != leg:
+            raise AdmissionError(
+                f"connection {connection_id!r} already holds a conflicting "
+                f"reservation at switch {self.name!r}"
+            )
+
+    def _hold(self, leg: Leg, result: CheckResult,
+              patch_caches: bool = True) -> None:
+        """Record a fresh reservation: store, journal, aggregates."""
+        self._store.put_pending(leg.connection_id, leg, result)
+        self._journal.append("reserve", leg.connection_id, leg)
+        self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
+                    add=True, patch_caches=patch_caches)
+        self._rebind().reserves.inc()
 
     def commit(self, connection_id: str) -> Leg:
         """Phase 2: confirm a reservation.  Idempotent on re-delivery."""
         self._ensure_up()
-        committed = self._legs.get(connection_id)
+        committed = self._store.get_committed(connection_id)
         if committed is not None:
             return committed
-        try:
-            leg = self._pending.pop(connection_id)
-        except KeyError:
+        leg = self._store.pop_pending(connection_id)
+        if leg is None:
             raise AdmissionError(
                 f"no reservation for connection {connection_id!r} to commit "
                 f"at switch {self.name!r}"
-            ) from None
-        self._pending_results.pop(connection_id, None)
-        self._legs[connection_id] = leg
+            )
+        self._store.put_committed(connection_id, leg)
         self._journal.append("commit", connection_id)
-        self._metrics().commits.inc()
+        self._rebind().commits.inc()
         return leg
 
     def rollback(self, connection_id: str) -> Optional[Leg]:
@@ -793,20 +821,19 @@ class SwitchCAC:
         cannot know how far the receiver got before a fault struck.
         """
         self._ensure_up()
-        leg = self._pending.pop(connection_id, None)
+        leg = self._store.pop_pending(connection_id)
         if leg is not None:
-            self._pending_results.pop(connection_id, None)
             self._journal.append("abort", connection_id)
             self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
                         add=False)
-            self._metrics().rollbacks.inc()
+            self._rebind().rollbacks.inc()
             return leg
-        leg = self._legs.pop(connection_id, None)
+        leg = self._store.pop_committed(connection_id)
         if leg is not None:
             self._journal.append("release", connection_id)
             self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
                         add=False)
-            self._metrics().rollbacks.inc()
+            self._rebind().rollbacks.inc()
             return leg
         return None
 
@@ -818,17 +845,7 @@ class SwitchCAC:
         operation raises :class:`~repro.exceptions.SwitchUnavailable`.
         """
         self._crashed = True
-        self._legs.clear()
-        self._pending.clear()
-        self._pending_results.clear()
-        self._sia.clear()
-        self._sif_cache.clear()
-        self._higher_cache.clear()
-        self._sif_higher_cache.clear()
-        self._soa_cache.clear()
-        self._higher_sum_cache.clear()
-        self._sof_cache.clear()
-        self._service_cache.clear()
+        self._store.clear_volatile()
 
     def recover(self) -> None:
         """Rebuild the caches by replaying the journal op-for-op.
@@ -839,48 +856,21 @@ class SwitchCAC:
         to what the switch held before the crash.  Reservations that
         never committed are in-flight transactions the crash aborted:
         they are discarded (and journaled as aborts) at the end of the
-        replay.  The result is validated with :meth:`verify_consistency`.
+        replay.  Every replayed transition goes through the same
+        :class:`AdmissionStore` as live admission, and the result is
+        validated with :meth:`verify_consistency`.
         """
-        replayed = list(self._journal)
         self._crashed = False
-        self._legs.clear()
-        self._pending.clear()
-        self._pending_results.clear()
-        self._sia.clear()
-        self._sif_cache.clear()
-        self._higher_cache.clear()
-        self._sif_higher_cache.clear()
-        self._soa_cache.clear()
-        self._higher_sum_cache.clear()
-        self._sof_cache.clear()
-        self._service_cache.clear()
-        for entry in replayed:
-            if entry.op in ("reserve", "admit"):
-                leg = entry.leg
-                target = (self._pending if entry.op == "reserve"
-                          else self._legs)
-                target[entry.connection_id] = leg
-                self._apply(leg.in_link, leg.out_link, leg.priority,
-                            leg.stream, add=True)
-            elif entry.op == "commit":
-                self._legs[entry.connection_id] = self._pending.pop(
-                    entry.connection_id)
-            elif entry.op == "abort":
-                leg = self._pending.pop(entry.connection_id)
-                self._apply(leg.in_link, leg.out_link, leg.priority,
-                            leg.stream, add=False)
-            elif entry.op == "release":
-                leg = self._legs.pop(entry.connection_id)
-                self._apply(leg.in_link, leg.out_link, leg.priority,
-                            leg.stream, add=False)
-        for connection_id in list(self._pending):
-            leg = self._pending.pop(connection_id)
+        self._store.clear_volatile()
+        replayed = self._journal.replay_into(self._store, apply=self._apply)
+        for connection_id in list(self._store.pending()):
+            leg = self._store.pop_pending(connection_id)
             self._journal.append("abort", connection_id)
             self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
                         add=False)
-        obs = self._metrics()
+        obs = self._rebind()
         obs.recoveries.inc()
-        obs.replayed.set(len(replayed))
+        obs.replayed.set(replayed)
         if not self.verify_consistency():
             raise AdmissionError(
                 f"journal recovery left switch {self.name!r} with "
@@ -889,15 +879,59 @@ class SwitchCAC:
         obs.recoveries_verified.inc()
 
     # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, List[Leg]]:
+        """The state-determining legs (committed and pending), in order.
+
+        A store-level snapshot: legs fully determine every aggregate.
+        See :func:`repro.network.serialization.switch_state_to_dict`
+        for the JSON-safe form.
+        """
+        return self._store.snapshot()
+
+    def restore_state(self, snapshot: Mapping[str, Sequence[Leg]]) -> None:
+        """Boot-time restore of a :meth:`snapshot_state` leg snapshot.
+
+        Requires an empty (freshly configured) switch.  Every restored
+        leg is journaled -- committed legs as one-shot ``admit``
+        entries, pending legs as ``reserve`` -- so a later
+        :meth:`crash`/:meth:`recover` cycle still replays to exactly
+        this state.
+        """
+        self._ensure_up()
+        if self._store.committed() or self._store.pending():
+            raise AdmissionError(
+                f"switch {self.name!r} is not empty; restore_state is a "
+                f"boot-time operation"
+            )
+        for leg in snapshot.get("committed", ()):
+            self._store.put_committed(leg.connection_id, leg)
+            self._journal.append("admit", leg.connection_id, leg)
+            self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
+                        add=True)
+        for leg in snapshot.get("pending", ()):
+            self._store.put_pending(leg.connection_id, leg)
+            self._journal.append("reserve", leg.connection_id, leg)
+            self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
+                        add=True)
+        if not self.verify_consistency():
+            raise AdmissionError(
+                f"restore left switch {self.name!r} with inconsistent caches"
+            )
+
+    # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------
 
     def computed_bound(self, out_link: str, priority: int) -> Number:
         """Worst-case delay bound of the *currently admitted* traffic."""
-        soa = self.soa(out_link, priority)
+        port = self._store.port(out_link, priority)
+        soa = port.soa()
         if soa.is_zero:
             return 0
-        return delay_bound(soa, service=self._service(out_link, priority))
+        return delay_bound(soa, service=port.service())
 
     def buffer_requirement(self, out_link: str, priority: int) -> Number:
         """Worst-case FIFO occupancy (cells) of the admitted traffic.
@@ -906,27 +940,24 @@ class SwitchCAC:
         stays at or below the configured queue length, worst-case
         traffic is never dropped.
         """
-        soa = self.soa(out_link, priority)
+        port = self._store.port(out_link, priority)
+        soa = port.soa()
         if soa.is_zero:
             return 0
-        return backlog_bound_with_higher(
-            soa, service=self._service(out_link, priority),
-        )
+        return backlog_bound_with_higher(soa, service=port.service())
 
     def in_link_utilization(self, in_link: str) -> Number:
         """Long-run admitted rate entering via one incoming link."""
         total: Number = 0
-        for (i, _out, _priority), stream in self._sia.items():
-            if i == in_link:
-                total += stream.long_run_rate
+        for port in self._store.ports():
+            total += port.in_link_rate(in_link)
         return total
 
     def utilization(self, out_link: str) -> Number:
         """Long-run admitted rate on an output link (1.0 == saturated)."""
         total: Number = 0
-        for (in_link, out, priority), stream in self._sia.items():
-            if out == out_link:
-                total += stream.long_run_rate
+        for port in self._store.ports_for(out_link):
+            total += port.long_run_rate()
         return total
 
     def recompute_aggregates(self) -> Dict[Tuple[str, str, int], BitStream]:
@@ -937,7 +968,7 @@ class SwitchCAC:
         it after long admit/release sequences to catch drift.
         """
         fresh: Dict[Tuple[str, str, int], BitStream] = {}
-        for legs in (self._legs, self._pending):
+        for legs in (self._store.committed(), self._store.pending()):
             for leg in legs.values():
                 key = (leg.in_link, leg.out_link, leg.priority)
                 base = fresh.get(key, ZERO_STREAM)
@@ -949,46 +980,25 @@ class SwitchCAC:
 
         Checks the ``Sia`` ground truth *and* each populated derived
         cache (higher-priority aggregates, output sums) against values
-        recomputed from the per-leg streams alone.
+        recomputed from the per-leg streams alone.  Every port is read
+        through the :class:`AdmissionStore`, so a backend that corrupts
+        or loses state cannot pass.
         """
         fresh = self.recompute_aggregates()
-        keys = set(fresh) | set(self._sia)
-        for key in keys:
-            current = self._sia.get(key, ZERO_STREAM)
-            expected = fresh.get(key, ZERO_STREAM)
-            if not current.approx_equal(expected, tolerance):
-                return False
-        for (i, j, p), cached in self._higher_cache.items():
-            expected = aggregate([
-                stream for (i2, j2, q), stream in fresh.items()
-                if i2 == i and j2 == j and q < p
-            ])
-            if not cached.approx_equal(expected, tolerance):
-                return False
-        for (j, p), cached in self._soa_cache.items():
-            expected = aggregate([
-                self._filter(stream)
-                for (_i2, j2, q), stream in sorted(fresh.items())
-                if j2 == j and q == p
-            ])
-            if not cached.approx_equal(expected, tolerance):
-                return False
-        for (j, p), cached in self._higher_sum_cache.items():
-            per_input: Dict[str, BitStream] = {}
-            for (i2, j2, q), stream in sorted(fresh.items()):
-                if j2 == j and q < p:
-                    per_input[i2] = per_input.get(i2, ZERO_STREAM) + stream
-            expected = aggregate([
-                self._filter(per_input[i2]) for i2 in sorted(per_input)
-            ])
-            if not cached.approx_equal(expected, tolerance):
-                return False
-        return True
+        covered = {
+            (port.out_link, port.priority) for port in self._store.ports()
+        }
+        for (in_link, out_link, priority) in fresh:
+            if (out_link, priority) not in covered:
+                return False  # a leg on a port the store no longer has
+        return all(port.verify_against(fresh, tolerance)
+                   for port in self._store.ports())
 
     def __repr__(self) -> str:
         status = ", crashed" if self._crashed else ""
         return (
-            f"SwitchCAC(name={self.name!r}, legs={len(self._legs)}, "
-            f"pending={len(self._pending)}, "
-            f"links={sorted(self._advertised)}{status})"
+            f"SwitchCAC(name={self.name!r}, "
+            f"legs={len(self._store.committed())}, "
+            f"pending={len(self._store.pending())}, "
+            f"links={self.out_links()}{status})"
         )

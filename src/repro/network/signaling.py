@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, fields as dataclass_fields
-from typing import Callable, List, Optional, TypeVar, Union
+from typing import Callable, List, Optional, Tuple, TypeVar, Union
 
 from ..core.bitstream import Number
 from ..exceptions import RetryExhausted, SignalingTimeout, SwitchUnavailable
@@ -47,6 +47,7 @@ __all__ = [
     "ReleaseMessage",
     "CommitMessage",
     "AbortMessage",
+    "BatchSetupMessage",
     "FaultEvent",
     "RetryEvent",
     "SignalingTrace",
@@ -119,6 +120,22 @@ class AbortMessage:
 
 
 @dataclass(frozen=True)
+class BatchSetupMessage:
+    """One group admission check of a batched setup at one node.
+
+    Recorded by :meth:`NetworkCAC.setup_many`'s fast path: the node
+    evaluated the whole candidate group in a single shared CAC check
+    (``connections`` in request order).  ``admitted`` reports the group
+    verdict; a ``False`` makes the pipeline fall back to per-request
+    SETUP walks, which appear in the trace as usual.
+    """
+
+    at_node: str
+    connections: Tuple[str, ...]
+    admitted: bool
+
+
+@dataclass(frozen=True)
 class FaultEvent:
     """An injected fault striking one delivery attempt.
 
@@ -154,6 +171,7 @@ Message = Union[
     ReleaseMessage,
     CommitMessage,
     AbortMessage,
+    BatchSetupMessage,
     FaultEvent,
     RetryEvent,
 ]
@@ -167,6 +185,7 @@ _EVENT_NAMES = {
     "ReleaseMessage": "release",
     "CommitMessage": "commit",
     "AbortMessage": "abort",
+    "BatchSetupMessage": "batch_setup",
     "FaultEvent": "fault",
     "RetryEvent": "retry",
 }

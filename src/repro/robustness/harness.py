@@ -150,13 +150,21 @@ def run_schedule(seed: int,
                                            Iterable[ConnectionRequest]],
                  retry_policy: Optional[RetryPolicy] = None,
                  hop_timeout: float = 8.0,
-                 max_faults: int = 4) -> ScheduleReport:
+                 max_faults: int = 4,
+                 batched: bool = False) -> ScheduleReport:
     """Run one seeded fault schedule and check both acceptance properties.
 
     ``network_factory`` must build a fresh, identical topology on every
     call (it is invoked twice: once for the faulted run, once for the
     clean replay); ``request_factory`` maps a network to the ordered
     connection requests to attempt.
+
+    ``batched`` routes establishment through
+    :meth:`NetworkCAC.setup_many` instead of per-request
+    :meth:`NetworkCAC.setup` calls.  Under an active fault injector the
+    batched pipeline falls back to the exact sequential walk, so every
+    schedule must produce the identical report either way -- which is
+    precisely what the property suite asserts.
     """
     rng = random.Random(seed)
     network = network_factory()
@@ -178,11 +186,18 @@ def run_schedule(seed: int,
     )
     trace = SignalingTrace()
     errors: Dict[str, str] = {}
-    for request in requests:
-        try:
-            faulted.setup(request, trace=trace)
-        except AdmissionError as refused:
-            errors[request.name] = f"{type(refused).__name__}: {refused}"
+    if batched:
+        outcome = faulted.setup_many(requests, trace=trace)
+        errors = {
+            name: f"{type(refused).__name__}: {refused}"
+            for name, refused in outcome.failures.items()
+        }
+    else:
+        for request in requests:
+            try:
+                faulted.setup(request, trace=trace)
+            except AdmissionError as refused:
+                errors[request.name] = f"{type(refused).__name__}: {refused}"
 
     recovered = tuple(sorted(
         name for name, cac in faulted.switches().items() if cac.crashed

@@ -1,0 +1,337 @@
+"""The batched admission pipeline: ``check_batch`` / ``setup_many``.
+
+The acceptance property (ISSUE 4): ``setup_many`` must admit *exactly*
+the set a sequential one-by-one setup loop admits -- same refusals,
+bit-identical committed aggregates, identical per-switch journals --
+including when the group check falls back to sequential and when faults
+are injected mid-batch.  The batch is an optimisation, never a policy
+change.
+"""
+
+import os
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.admission import BatchSetupResult, NetworkCAC
+from repro.core.server import CacServer
+from repro.core.switch_cac import Leg
+from repro.core.traffic import cbr
+from repro.exceptions import AdmissionError
+from repro.network.connection import ConnectionRequest
+from repro.network.routing import ring_walk, shortest_path
+from repro.network.signaling import (
+    BatchSetupMessage,
+    ConnectedMessage,
+    SignalingTrace,
+)
+from repro.network.topology import line_network, ring_network, star_network
+from repro.robustness.harness import run_schedule
+from repro.rtnet.evaluation import establish_workload
+from repro.rtnet.workloads import plant_mix_workload
+
+SCHEDULES = int(os.environ.get("FAULT_SCHEDULES", "60"))
+BATCH_SCHEDULES = max(10, SCHEDULES // 3)
+
+
+def line_factory():
+    return line_network(4, bounds={0: 64}, terminals_per_switch=2)
+
+
+def line_requests(network):
+    rates = [F(1, 10), F(1, 12), F(1, 9), F(1, 14), F(1, 11)]
+    spans = [("t0.0", "t3.0"), ("t0.1", "t2.0"), ("t1.0", "t3.1"),
+             ("t0.0", "t1.1"), ("t2.1", "t3.0")]
+    return [
+        ConnectionRequest(f"vc{index}", cbr(rate),
+                          shortest_path(network, src, dst))
+        for index, (rate, (src, dst)) in enumerate(zip(rates, spans))
+    ]
+
+
+def ring_factory():
+    return ring_network(4, bounds={0: 64}, terminals_per_switch=1)
+
+
+def ring_requests(network):
+    return [
+        ConnectionRequest(
+            f"bcast{index}", cbr(F(1, 12)),
+            ring_walk(network, f"s{index}", hops=3,
+                      access_from=f"t{index}.0"))
+        for index in range(4)
+    ]
+
+
+def overload_factory():
+    """A two-priority line so tight that some of the batch is refused."""
+    return line_network(3, bounds={0: 48, 1: 96}, terminals_per_switch=2)
+
+
+def overload_requests(network):
+    rates = [F(1, 4), F(1, 5), F(1, 3), F(1, 6), F(1, 4), F(1, 7)]
+    spans = [("t0.0", "t2.0"), ("t0.1", "t2.1"), ("t1.0", "t2.0"),
+             ("t0.0", "t1.0"), ("t1.1", "t2.1"), ("t0.1", "t1.1")]
+    return [
+        ConnectionRequest(f"vc{index}", cbr(rate),
+                          shortest_path(network, src, dst),
+                          priority=index % 2)
+        for index, (rate, (src, dst)) in enumerate(zip(rates, spans))
+    ]
+
+
+def run_sequential(factory, request_factory):
+    """The reference: one-by-one setup, refusals collected not raised."""
+    network = factory()
+    cac = NetworkCAC(network)
+    failures = {}
+    for request in request_factory(network):
+        try:
+            cac.setup(request)
+        except AdmissionError as refused:
+            failures[request.name] = refused
+    return cac, failures
+
+
+def run_batched(factory, request_factory, trace=None):
+    network = factory()
+    cac = NetworkCAC(network)
+    outcome = cac.setup_many(request_factory(network), trace=trace)
+    return cac, outcome
+
+
+def assert_bit_identical(batched_cac, sequential_cac):
+    """Committed state equality, exact -- not approx_equal."""
+    assert set(batched_cac.established) == set(sequential_cac.established)
+    for name, connection in batched_cac.established.items():
+        assert connection.e2e_bound == \
+            sequential_cac.established[name].e2e_bound
+    for name, switch in batched_cac.switches().items():
+        reference = sequential_cac.switch(name)
+        assert list(switch.legs) == list(reference.legs)
+        assert not switch.pending and not reference.pending
+        ours = switch.recompute_aggregates()
+        theirs = reference.recompute_aggregates()
+        assert set(ours) == set(theirs)
+        for key, stream in ours.items():
+            assert stream.rates == theirs[key].rates
+            assert stream.times == theirs[key].times
+        # live aggregates, not just the from-scratch rebuild
+        for (in_link, out_link, priority), stream in theirs.items():
+            live = switch.sia(in_link, out_link, priority)
+            assert live.rates == stream.rates
+            assert live.times == stream.times
+        assert switch.verify_consistency()
+
+
+EQUIVALENCE_CASES = [
+    ("line", line_factory, line_requests),
+    ("ring", ring_factory, ring_requests),
+    ("overload", overload_factory, overload_requests),
+]
+
+
+@pytest.mark.parametrize("label,factory,requests", EQUIVALENCE_CASES,
+                         ids=[label for label, _, _ in EQUIVALENCE_CASES])
+class TestBatchEqualsSequential:
+    def test_same_admissions_and_bit_identical_state(
+            self, label, factory, requests):
+        sequential_cac, sequential_failures = run_sequential(
+            factory, requests)
+        batched_cac, outcome = run_batched(factory, requests)
+        assert isinstance(outcome, BatchSetupResult)
+        assert set(outcome.admitted_names) == \
+            set(sequential_cac.established)
+        assert set(outcome.failures) == set(sequential_failures)
+        for name, refused in outcome.failures.items():
+            assert type(refused) is type(sequential_failures[name])
+        assert_bit_identical(batched_cac, sequential_cac)
+
+    def test_journals_are_op_for_op_identical(
+            self, label, factory, requests):
+        sequential_cac, _ = run_sequential(factory, requests)
+        batched_cac, _ = run_batched(factory, requests)
+        for name, switch in batched_cac.switches().items():
+            assert (
+                [(e.op, e.connection_id) for e in switch.journal]
+                == [(e.op, e.connection_id)
+                    for e in sequential_cac.switch(name).journal]
+            ), f"journal divergence at {name}"
+
+    def test_crash_recovery_reproduces_batched_state(
+            self, label, factory, requests):
+        batched_cac, _ = run_batched(factory, requests)
+        before = {
+            name: switch.recompute_aggregates()
+            for name, switch in batched_cac.switches().items()
+        }
+        for switch in batched_cac.switches().values():
+            switch.crash()
+            switch.recover()
+        for name, switch in batched_cac.switches().items():
+            after = switch.recompute_aggregates()
+            assert set(after) == set(before[name])
+            for key, stream in after.items():
+                assert stream.rates == before[name][key].rates
+                assert stream.times == before[name][key].times
+            assert switch.verify_consistency()
+
+
+def test_all_feasible_batch_takes_the_fast_path():
+    trace = SignalingTrace()
+    _cac, outcome = run_batched(line_factory, line_requests, trace=trace)
+    assert outcome.batched
+    assert not outcome.failures
+    batch_messages = [m for m in trace.messages
+                      if isinstance(m, BatchSetupMessage)]
+    assert batch_messages and all(m.admitted for m in batch_messages)
+    # one group verdict per switch the batch touches
+    assert len({m.at_node for m in batch_messages}) == len(batch_messages)
+    connected = {m.connection for m in trace.messages
+                 if isinstance(m, ConnectedMessage)}
+    assert connected == set(outcome.admitted_names)
+
+
+def test_infeasible_batch_falls_back_to_sequential():
+    trace = SignalingTrace()
+    _cac, outcome = run_batched(overload_factory, overload_requests,
+                                trace=trace)
+    assert not outcome.batched
+    assert outcome.failures  # the overload corpus really refuses some
+    assert outcome.established  # ... and admits others
+    failing = [m for m in trace.messages
+               if isinstance(m, BatchSetupMessage) and not m.admitted]
+    assert failing, "the failed group check should be visible in the trace"
+
+
+def test_empty_and_singleton_batches():
+    network = line_factory()
+    cac = NetworkCAC(network)
+    empty = cac.setup_many([])
+    assert empty.established == () and not empty.failures
+
+    single = cac.setup_many(line_requests(network)[:1])
+    assert single.admitted_names == ("vc0",)
+    for switch in cac.switches().values():
+        assert switch.verify_consistency()
+
+
+def test_duplicate_name_within_batch_is_refused():
+    network = line_factory()
+    requests = line_requests(network)
+    clone = ConnectionRequest("vc0", cbr(F(1, 13)),
+                              shortest_path(network, "t2.0", "t3.0"))
+    outcome = NetworkCAC(line_factory()).setup_many(requests + [clone])
+    # the reference semantics: the first "vc0" wins, the clone is refused
+    # exactly as a sequential loop would refuse the second setup("vc0")
+    assert "vc0" in outcome.admitted_names
+    assert list(outcome.failures) == ["vc0"] or "vc0" in outcome.failures
+    sequential_cac, sequential_failures = run_sequential(
+        line_factory, lambda net: line_requests(net) + [ConnectionRequest(
+            "vc0", cbr(F(1, 13)), shortest_path(net, "t2.0", "t3.0"))])
+    assert set(sequential_failures) == set(outcome.failures)
+
+
+@pytest.mark.parametrize("seed", range(BATCH_SCHEDULES))
+def test_fault_schedules_batched_equals_sequential(seed):
+    """Injected faults mid-batch: identical reports either way."""
+    batched = run_schedule(seed, line_factory, line_requests, batched=True)
+    sequential = run_schedule(seed, line_factory, line_requests,
+                              batched=False)
+    assert batched.established == sequential.established
+    assert batched.errors == sequential.errors
+    assert batched.recovered == sequential.recovered
+    assert batched.consistent and batched.equivalent
+    assert sequential.consistent and sequential.equivalent
+
+
+def test_check_batch_group_verdict_and_violations():
+    network = line_factory()
+    cac = NetworkCAC(network)
+    switch = cac.switch("s1")
+    stream = cbr(F(1, 10)).worst_case_stream()
+    good = [Leg(f"vc{i}", "s0->s1", "s1->s2", 0, stream)
+            for i in range(3)]
+    verdict = switch.check_batch(good)
+    assert verdict.admitted
+    assert ("s1->s2", 0) in verdict.computed_bounds
+    assert set(verdict.results) == {"vc0", "vc1", "vc2"}
+    # monotonicity in action: the group verdict licenses each member
+    for leg in good:
+        switch.reserve_checked(leg, verdict.results[leg.connection_id])
+        switch.commit(leg.connection_id)
+    assert switch.verify_consistency()
+
+    flood = [Leg(f"big{i}", "s0->s1", "s1->s2", 0,
+                 cbr(F(1, 2)).worst_case_stream()) for i in range(4)]
+    refused = switch.check_batch(flood)
+    assert not refused.admitted
+    assert refused.violations["s1->s2"]
+    assert not refused.results["big0"].admitted
+
+
+def test_server_batch_decisions_match_sequential_decisions():
+    network = overload_factory()
+    requests = overload_requests(network)
+    decisions = CacServer(network).request_setup_many(requests)
+    assert [d.connection for d in decisions] == \
+        [r.name for r in requests]
+
+    sequential_cac, sequential_failures = run_sequential(
+        overload_factory, overload_requests)
+    for decision in decisions:
+        if decision.admitted:
+            assert decision.connection in sequential_cac.established
+            assert decision.e2e_bound == \
+                sequential_cac.established[decision.connection].e2e_bound
+        else:
+            assert decision.connection in sequential_failures
+
+
+def test_server_batch_refuses_duplicate_names_in_order():
+    network = line_factory()
+    requests = line_requests(network)[:2]
+    duplicate = ConnectionRequest(
+        "vc0", cbr(F(1, 13)),
+        shortest_path(network, "t2.0", "t3.0"))
+    decisions = CacServer(network).request_setup_many(
+        requests + [duplicate])
+    assert [d.connection for d in decisions] == ["vc0", "vc1", "vc0"]
+    assert decisions[0].admitted and decisions[1].admitted
+    assert not decisions[2].admitted
+
+
+def test_establish_workload_batched_parity():
+    sequential_net, sequential_established = establish_workload(
+        plant_mix_workload(4), ring_nodes=4, terminals_per_node=3)
+    batched_net, batched_established = establish_workload(
+        plant_mix_workload(4), ring_nodes=4, terminals_per_node=3,
+        batched=True)
+    assert [c.name for c in batched_established] == \
+        [c.name for c in sequential_established]
+    assert [c.e2e_bound for c in batched_established] == \
+        [c.e2e_bound for c in sequential_established]
+    for name, switch in batched_net.switches().items():
+        reference = sequential_net.switch(name).recompute_aggregates()
+        ours = switch.recompute_aggregates()
+        assert set(ours) == set(reference)
+        for key, stream in ours.items():
+            assert stream.rates == reference[key].rates
+            assert stream.times == reference[key].times
+
+
+def test_setup_many_then_teardown_round_trips():
+    network = star_network(4, bounds={0: 64})
+    cac = NetworkCAC(network)
+    requests = [
+        ConnectionRequest(f"vc{i}", cbr(F(1, 12)),
+                          shortest_path(network, f"t{i}", f"t{(i+1) % 4}"))
+        for i in range(4)
+    ]
+    outcome = cac.setup_many(requests)
+    assert set(outcome.admitted_names) == {f"vc{i}" for i in range(4)}
+    for name in outcome.admitted_names:
+        cac.teardown(name)
+    for switch in cac.switches().values():
+        assert not switch.legs and not switch.pending
+        assert switch.verify_consistency()
