@@ -101,32 +101,48 @@ def pytest_sessionfinish(session, exitstatus):
             entry["seed_baseline_ns"] = seed
             entry["speedup_vs_seed"] = round(seed / entry["median_ns"], 2)
         ops[name] = entry
-    if not any(name in SEED_BASELINE_NS for name in ops):
-        return  # core-ops benches did not run; keep the last artifact
-    module = sys.modules.get("test_bench_core_ops")
-    sizes = getattr(module, "STREAM_SIZES", None) if module else None
-    artifact = {
-        "unit": "ns",
-        "stream_sizes": sizes or {},
-        "ops": dict(sorted(ops.items())),
-    }
-    # bench-batch: setup_many vs the sequential loop over the same
-    # plant-mix scenario (acceptance target: speedup >= 3).
-    sequential = ops.get("test_bench_setup_sequential", {}).get("median_ns")
-    batched = ops.get("test_bench_setup_many", {}).get("median_ns")
-    if sequential and batched:
-        workload = getattr(module, "BATCH_WORKLOAD", {}) if module else {}
-        artifact["batch_setup"] = {
-            **workload,
-            "sequential_median_ns": sequential,
-            "batched_median_ns": batched,
-            "speedup": round(sequential / batched, 2),
-            "requests_per_sec_batched": round(
-                workload.get("requests", 0) / (batched * 1e-9), 1),
-        }
-    obs_summary = _obs_summary()
-    if obs_summary is not None:
-        artifact["obs"] = obs_summary
+    core_ran = any(name in SEED_BASELINE_NS for name in ops)
+    parallel_module = sys.modules.get("test_bench_parallel")
+    parallel_results = dict(getattr(parallel_module, "RESULTS", {}) or {}) \
+        if parallel_module else {}
+    if not core_ran and not parallel_results:
+        return  # neither bench family ran; keep the last artifact
+    # Partial runs (only core-ops, or only the parallel benches) merge
+    # into the existing artifact instead of clobbering the other half.
+    artifact = {}
+    if _ARTIFACT.exists():
+        try:
+            artifact = json.loads(_ARTIFACT.read_text())
+        except ValueError:
+            artifact = {}
+    if core_ran:
+        module = sys.modules.get("test_bench_core_ops")
+        sizes = getattr(module, "STREAM_SIZES", None) if module else None
+        artifact["unit"] = "ns"
+        artifact["stream_sizes"] = sizes or {}
+        artifact["ops"] = dict(sorted(ops.items()))
+        # bench-batch: setup_many vs the sequential loop over the same
+        # plant-mix scenario (acceptance target: speedup >= 3).
+        sequential = ops.get("test_bench_setup_sequential",
+                             {}).get("median_ns")
+        batched = ops.get("test_bench_setup_many", {}).get("median_ns")
+        if sequential and batched:
+            workload = getattr(module, "BATCH_WORKLOAD", {}) if module else {}
+            artifact["batch_setup"] = {
+                **workload,
+                "sequential_median_ns": sequential,
+                "batched_median_ns": batched,
+                "speedup": round(sequential / batched, 2),
+                "requests_per_sec_batched": round(
+                    workload.get("requests", 0) / (batched * 1e-9), 1),
+            }
+        obs_summary = _obs_summary()
+        if obs_summary is not None:
+            artifact["obs"] = obs_summary
+    if parallel_results:
+        # serial vs fanned wall-clock per scenario, plus the determinism
+        # verdict (see test_bench_parallel).
+        artifact["parallel"] = dict(sorted(parallel_results.items()))
     _ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
 
 

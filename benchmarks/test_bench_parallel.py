@@ -1,0 +1,103 @@
+"""Serial vs parallel wall-clock for independent scenario fan-out.
+
+Each bench runs one evaluation workload twice -- the plain serial loop
+and the same call fanned across worker processes -- asserts the results
+are identical (the determinism contract), and records both timings into
+``BENCH_core_ops.json`` under ``"parallel"`` (see ``conftest``).
+
+The >= 2.5x speedup acceptance gate is asserted only where the hardware
+can express it (4+ usable cores); on smaller containers the numbers are
+still recorded, along with the core count, so the artifact says exactly
+what was measured where.
+"""
+
+import multiprocessing
+import time
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.traffic import cbr
+from repro.network.connection import ConnectionRequest
+from repro.network.routing import shortest_path
+from repro.network.topology import line_network
+from repro.parallel import ParallelExecutor, available_parallelism
+from repro.robustness.harness import run_schedule, run_schedules
+from repro.rtnet.evaluation import symmetric_delay_curve
+
+#: Filled by the benches, dumped into the artifact by the conftest hook.
+RESULTS = {}
+
+JOBS = 4
+LOADS = [round(0.03 * step, 3) for step in range(1, 31)]
+SCHEDULE_SEEDS = range(24)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+pytestmark = pytest.mark.skipif(
+    not HAVE_FORK, reason="no fork start method on this platform")
+
+
+def bench_network():
+    return line_network(4, bounds={0: 64}, terminals_per_switch=2)
+
+
+def bench_requests(network):
+    rates = [F(1, 10), F(1, 12), F(1, 9), F(1, 14)]
+    spans = [("t0.0", "t3.0"), ("t0.1", "t2.0"),
+             ("t1.0", "t3.1"), ("t2.1", "t3.0")]
+    return [
+        ConnectionRequest(f"vc{index}", cbr(rate),
+                          shortest_path(network, src, dst))
+        for index, (rate, (src, dst)) in enumerate(zip(rates, spans))
+    ]
+
+
+def _record(scenario, serial_s, parallel_s, identical):
+    cores = available_parallelism()
+    entry = {
+        "jobs": JOBS,
+        "cpu_count": cores,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "identical": identical,
+    }
+    RESULTS[scenario] = entry
+    assert identical, f"{scenario}: parallel result diverged from serial"
+    if cores >= JOBS:
+        # The acceptance gate only binds where 4 workers have 4 cores.
+        assert entry["speedup"] >= 2.5, (
+            f"{scenario}: {entry['speedup']}x on {cores} cores")
+    return entry
+
+
+def test_bench_parallel_delay_curve(once):
+    start = time.perf_counter()
+    serial = symmetric_delay_curve(LOADS, terminals_per_node=8,
+                                   ring_nodes=16)
+    serial_s = time.perf_counter() - start
+    with ParallelExecutor(jobs=JOBS) as pool:
+        pool.map(abs, [-1, 1, -1, 1])      # warm the worker pool
+        start = time.perf_counter()
+        fanned = once(lambda: symmetric_delay_curve(
+            LOADS, terminals_per_node=8, ring_nodes=16, executor=pool))
+        parallel_s = time.perf_counter() - start
+    _record("fig10_delay_curve", serial_s, parallel_s, fanned == serial)
+
+
+def test_bench_parallel_fault_schedules(once):
+    start = time.perf_counter()
+    serial = [run_schedule(seed, bench_network, bench_requests)
+              for seed in SCHEDULE_SEEDS]
+    serial_s = time.perf_counter() - start
+    with ParallelExecutor(jobs=JOBS) as pool:
+        pool.map(abs, [-1, 1, -1, 1])
+        start = time.perf_counter()
+        fanned = once(lambda: run_schedules(
+            SCHEDULE_SEEDS, bench_network, bench_requests, executor=pool))
+        parallel_s = time.perf_counter() - start
+    identical = (
+        [(r.seed, r.established, r.errors, r.journals) for r in fanned]
+        == [(r.seed, r.established, r.errors, r.journals) for r in serial]
+    )
+    _record("fault_schedules", serial_s, parallel_s, identical)

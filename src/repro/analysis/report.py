@@ -107,10 +107,21 @@ def ascii_plot(series: Mapping[str, Sequence[Tuple[float, float]]],
     return "\n".join(lines)
 
 
+def _csv_field(text: str) -> str:
+    """RFC-4180 quoting: wrap fields containing separators or quotes."""
+    if any(ch in text for ch in ',"\n\r'):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
 def to_csv(headers: Sequence[str],
            rows: Sequence[Sequence[object]]) -> str:
-    """Comma-separated rendering (no quoting; values must be simple)."""
-    lines = [",".join(str(h) for h in headers)]
+    """Comma-separated rendering.
+
+    Fields containing commas, quotes or newlines are quoted (RFC 4180);
+    everything else renders bare, so numeric sweeps stay byte-stable.
+    """
+    lines = [",".join(_csv_field(str(h)) for h in headers)]
     for row in rows:
-        lines.append(",".join(_fmt(value) for value in row))
+        lines.append(",".join(_csv_field(_fmt(value)) for value in row))
     return "\n".join(lines)

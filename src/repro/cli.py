@@ -13,6 +13,8 @@ Installed as ``repro-eval`` (or run as ``python -m repro.cli``):
    repro-eval failover --terminals 1 16
    repro-eval obs --prom           # instrumented plant-mix run, metrics dump
    repro-eval --csv fig10          # machine-readable output
+   repro-eval --jobs 4 fig11       # fan scenarios across 4 worker processes
+   repro-eval --jobs 0 fig13       # ... or every available core
 
 Each subcommand prints the same rows the corresponding paper artifact
 reports (see EXPERIMENTS.md for the paper-vs-measured record).
@@ -42,6 +44,18 @@ DEFAULT_LOADS = [round(0.05 * step, 2) for step in range(1, 20)]
 DEFAULT_FRACTIONS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
 
 
+def _jobs_argument(text: str) -> int:
+    """argparse type for ``--jobs``: non-negative int, 0 = all cores."""
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"jobs must be an integer: {text!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    return jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -52,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--csv", action="store_true",
                         help="emit CSV instead of an aligned table")
+    parser.add_argument("--jobs", type=_jobs_argument, default=1,
+                        metavar="N",
+                        help="worker processes for independent scenarios "
+                             "(default 1 = serial; 0 = os.cpu_count(); "
+                             "results are bit-identical either way)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="cyclic transmission classes")
@@ -126,7 +145,8 @@ def _run_table1(args) -> None:
 def _run_fig10(args) -> None:
     curves = {
         count: symmetric_delay_curve(args.loads, terminals_per_node=count,
-                                     ring_nodes=args.ring_nodes)
+                                     ring_nodes=args.ring_nodes,
+                                     jobs=args.jobs)
         for count in args.terminals
     }
     rows = []
@@ -145,7 +165,8 @@ def _run_fig11(args) -> None:
     curves = {
         count: asymmetric_capacity_curve(
             args.fractions, terminals_per_node=count,
-            ring_nodes=args.ring_nodes, tolerance=args.tolerance)
+            ring_nodes=args.ring_nodes, tolerance=args.tolerance,
+            jobs=args.jobs)
         for count in args.terminals
     }
     rows = [
@@ -162,7 +183,8 @@ def _run_fig12(args) -> None:
     for count in args.terminals:
         rows = priority_capacity_curve(
             args.fractions, terminals_per_node=count,
-            ring_nodes=args.ring_nodes, tolerance=args.tolerance)
+            ring_nodes=args.ring_nodes, tolerance=args.tolerance,
+            jobs=args.jobs)
         for fraction, single, dual in rows:
             rows_out.append([count, fraction, round(single, 3),
                              round(dual, 3)])
@@ -175,7 +197,8 @@ def _run_fig13(args) -> None:
     for count in args.terminals:
         rows = soft_hard_capacity_curve(
             args.fractions, terminals_per_node=count,
-            ring_nodes=args.ring_nodes, tolerance=args.tolerance)
+            ring_nodes=args.ring_nodes, tolerance=args.tolerance,
+            jobs=args.jobs)
         for fraction, hard, soft in rows:
             rows_out.append([count, fraction, round(hard, 3),
                              round(soft, 3)])
@@ -187,7 +210,8 @@ def _run_vbr(args) -> None:
     rows = [
         [mbs, round(load, 3)]
         for mbs, load in vbr_capacity_curve(args.mbs,
-                                            ring_nodes=args.ring_nodes)
+                                            ring_nodes=args.ring_nodes,
+                                            jobs=args.jobs)
     ]
     _emit(args, ["mbs_per_node", "max_load"], rows,
           "VBR feasibility: per-node burst allowance vs supportable load")
@@ -197,7 +221,7 @@ def _run_failover(args) -> None:
     rows = [
         [count, round(healthy, 3), round(wrapped, 3)]
         for count, healthy, wrapped in failover_capacity_curve(
-            args.terminals, ring_nodes=args.ring_nodes)
+            args.terminals, ring_nodes=args.ring_nodes, jobs=args.jobs)
     ]
     _emit(args, ["terminals", "healthy", "after_wrap"], rows,
           "Failover: capacity before/after a single ring failure")

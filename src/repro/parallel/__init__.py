@@ -1,0 +1,39 @@
+"""Deterministic multi-core fan-out for independent evaluation scenarios.
+
+Every heavy workload in the library -- parameter sweeps, the Section 5
+figure drivers, the fault-schedule stress harness -- is embarrassingly
+parallel across independent scenarios: each unit of work is a pure
+function of its arguments (a load point, a seed, an asymmetry
+fraction).  This package fans such work out across worker processes
+while keeping the *results bit-identical to a serial run*:
+
+* work is dispatched in deterministic chunks and reassembled in
+  submission order, so the output list is exactly what the serial loop
+  would have produced;
+* every worker runs the same code on the same inputs (IEEE float
+  arithmetic is deterministic), so individual results match bit for
+  bit;
+* worker-side :class:`~repro.obs.metrics.MetricsRegistry` snapshots are
+  serialized back and merged into the parent registry
+  (:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`), so
+  observability survives the fan-out.
+
+:class:`ParallelExecutor` is the engine; ``jobs=1`` (the default
+everywhere) never touches ``multiprocessing`` and is byte-for-byte the
+old serial code path.  See ``docs/performance.md`` ("Parallel
+evaluation") for the worker model and the determinism contract.
+"""
+
+from .executor import (
+    ParallelExecutor,
+    available_parallelism,
+    parallel_map,
+    resolve_jobs,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "available_parallelism",
+    "parallel_map",
+    "resolve_jobs",
+]

@@ -1,0 +1,245 @@
+"""The deterministic fan-out engine.
+
+:class:`ParallelExecutor` wraps a
+:class:`concurrent.futures.ProcessPoolExecutor` behind a ``map`` whose
+output is *bit-identical* to the serial loop: items are chunked
+deterministically, chunks are submitted in order, and results are
+reassembled in submission order.  ``jobs=1`` is a pure in-process loop
+that never imports ``multiprocessing`` machinery.
+
+The executor prefers the ``fork`` start method where the platform
+offers it (workers inherit the parent's imported modules and can
+unpickle callables defined anywhere the parent can see); on
+spawn-only platforms, or when the work function cannot be pickled at
+all, it degrades to the serial path rather than failing -- the results
+are the same either way, that is the whole contract.  The reason for
+the most recent degradation is kept on :attr:`last_fallback` for
+diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from ..obs import metrics as _om
+from .worker import run_chunk
+
+__all__ = [
+    "ParallelExecutor",
+    "available_parallelism",
+    "parallel_map",
+    "resolve_jobs",
+]
+
+#: Target chunks per worker: small enough to amortize per-chunk pickle
+#: and dispatch overhead, large enough to load-balance uneven scenarios
+#: (a bisection near the feasibility knee costs more than one far away).
+_CHUNKS_PER_WORKER = 4
+
+
+def available_parallelism() -> int:
+    """Usable core count: CPU affinity where the OS reports it."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request: ``None``/1 serial, ``0`` all cores.
+
+    >>> resolve_jobs(1)
+    1
+    >>> resolve_jobs(None)
+    1
+    >>> resolve_jobs(0) >= 1
+    True
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    if jobs == 0:
+        return available_parallelism()
+    return jobs
+
+
+def _chunk(items: Sequence[Any], size: int) -> List[Sequence[Any]]:
+    """Split ``items`` into consecutive runs of ``size`` (last may be short)."""
+    return [items[start:start + size] for start in range(0, len(items), size)]
+
+
+class _StarCall:
+    """Picklable adapter turning ``fn(*args)`` into ``fn(args_tuple)``."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[..., Any]):
+        self.fn = fn
+
+    def __call__(self, args: Sequence[Any]) -> Any:
+        return self.fn(*args)
+
+
+class ParallelExecutor:
+    """Ordered, chunked fan-out over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (default) runs serially in-process,
+        ``0`` uses every available core.
+    chunk_size:
+        Items per dispatched chunk; default
+        ``ceil(n / (jobs * 4))`` per :meth:`map` call.
+    mp_context:
+        A :mod:`multiprocessing` context; defaults to ``fork`` where
+        available (see ``docs/performance.md`` on why fork beats spawn
+        here), the platform default otherwise.
+
+    The pool is created lazily on the first parallel :meth:`map` and
+    reused across calls; use the executor as a context manager (or call
+    :meth:`close`) to shut it down.
+
+    Examples
+    --------
+    >>> with ParallelExecutor(jobs=1) as pool:
+    ...     pool.map(abs, [-2, 1, -3])
+    [2, 1, 3]
+    """
+
+    def __init__(self, jobs: int = 1, chunk_size: Optional[int] = None,
+                 mp_context: Optional[Any] = None):
+        self.jobs = resolve_jobs(jobs)
+        self.chunk_size = chunk_size
+        self._mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Why the most recent :meth:`map` fell back to the serial path
+        #: (``None`` when it did not).
+        self.last_fallback: Optional[str] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _context(self):
+        if self._mp_context is not None:
+            return self._mp_context
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=self._context())
+        return self._pool
+
+    # -- mapping -------------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
+            chunk_size: Optional[int] = None) -> List[Any]:
+        """``[fn(item) for item in items]``, possibly across processes.
+
+        The returned list is bit-identical to the serial comprehension:
+        chunks are submitted and reassembled in submission order, and
+        each worker runs the same code on the same inputs.  Exceptions
+        propagate like the serial loop's -- the earliest failing chunk
+        (in item order) raises first.
+        """
+        self.last_fallback = None
+        work = list(items)
+        if self.jobs <= 1 or len(work) <= 1:
+            return [fn(item) for item in work]
+        payload_ok, reason = self._picklable(fn, work)
+        if not payload_ok:
+            self.last_fallback = reason
+            return [fn(item) for item in work]
+        try:
+            pool = self._ensure_pool()
+        except (OSError, ValueError) as error:  # no fork/sem support
+            self.last_fallback = f"pool unavailable: {error}"
+            return [fn(item) for item in work]
+        size = chunk_size or self.chunk_size or max(
+            1, math.ceil(len(work) / (self.jobs * _CHUNKS_PER_WORKER)))
+        capture_obs = _om.get_registry().enabled
+        futures: List[Future] = [
+            pool.submit(run_chunk, fn, chunk, capture_obs)
+            for chunk in _chunk(work, size)
+        ]
+        results: List[Any] = []
+        snapshots: List[List[dict]] = []
+        for future in futures:          # submission order == item order
+            chunk_results, samples = future.result()
+            results.extend(chunk_results)
+            if samples:
+                snapshots.append(samples)
+        registry = _om.get_registry()
+        if registry.enabled:
+            for samples in snapshots:   # deterministic merge order
+                registry.merge_snapshot(samples)
+        return results
+
+    def starmap(self, fn: Callable[..., Any],
+                items: Iterable[Sequence[Any]],
+                chunk_size: Optional[int] = None) -> List[Any]:
+        """``[fn(*args) for args in items]`` through :meth:`map`."""
+        return self.map(_StarCall(fn), items, chunk_size=chunk_size)
+
+    @staticmethod
+    def _picklable(fn: Callable[[Any], Any],
+                   work: Sequence[Any]) -> tuple:
+        """Can this workload cross a process boundary at all?
+
+        Checks the function and the first item (homogeneous workloads
+        are the norm; a heterogeneous unpicklable tail still fails fast
+        inside ``submit`` with a clear error).
+        """
+        try:
+            pickle.dumps(fn)
+            if work:
+                pickle.dumps(work[0])
+        except Exception as error:  # pickle raises many concrete types
+            return False, f"not picklable: {error}"
+        return True, None
+
+    def __repr__(self) -> str:
+        state = "live" if self._pool is not None else "idle"
+        return f"ParallelExecutor(jobs={self.jobs}, pool={state})"
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any],
+                 jobs: int = 1,
+                 executor: Optional[ParallelExecutor] = None,
+                 chunk_size: Optional[int] = None) -> List[Any]:
+    """One-shot :meth:`ParallelExecutor.map`.
+
+    Pass an existing ``executor`` to reuse its worker pool across many
+    calls (``jobs`` is then ignored); otherwise a pool is created and
+    torn down around this single map.
+    """
+    if executor is not None:
+        return executor.map(fn, items, chunk_size=chunk_size)
+    if resolve_jobs(jobs) <= 1:
+        return [fn(item) for item in list(items)]
+    with ParallelExecutor(jobs=jobs, chunk_size=chunk_size) as pool:
+        return pool.map(fn, items)

@@ -1,0 +1,39 @@
+"""Worker-side chunk execution.
+
+This module is imported inside worker processes (by reference, via
+pickle), so it must stay importable with no side effects and depend
+only on the standard library plus :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import metrics as _om
+
+__all__ = ["run_chunk"]
+
+
+def run_chunk(fn: Callable[[Any], Any], items: Sequence[Any],
+              capture_obs: bool,
+              ) -> Tuple[List[Any], Optional[List[Dict[str, object]]]]:
+    """Run ``fn`` over ``items`` in order; optionally capture metrics.
+
+    When ``capture_obs`` is true a fresh
+    :class:`~repro.obs.metrics.MetricsRegistry` is installed for the
+    duration of the chunk and its plain-data :meth:`samples` are
+    returned alongside the results, ready to be merged into the parent
+    process's registry.  (Under the ``fork`` start method the child
+    inherits a *copy* of the parent's live registry; anything written to
+    that copy would be lost, which is exactly why the snapshot has to
+    travel back explicitly.)
+    """
+    if not capture_obs:
+        return [fn(item) for item in items], None
+    registry = _om.MetricsRegistry()
+    previous = _om.set_registry(registry)
+    try:
+        results = [fn(item) for item in items]
+    finally:
+        _om.set_registry(previous)
+    return results, registry.samples()

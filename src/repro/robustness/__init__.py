@@ -47,6 +47,7 @@ _HARNESS_EXPORTS = (
     "ScheduleReport",
     "random_fault_plan",
     "run_schedule",
+    "run_schedules",
     "committed_states_equal",
 )
 
@@ -80,5 +81,6 @@ __all__ = [
     "ScheduleReport",
     "random_fault_plan",
     "run_schedule",
+    "run_schedules",
     "committed_states_equal",
 ]

@@ -16,8 +16,9 @@ stress job run hundreds of them with fixed seeds.
 
 from __future__ import annotations
 
+import functools
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.admission import NetworkCAC
@@ -25,6 +26,7 @@ from ..exceptions import AdmissionError
 from ..network.connection import ConnectionRequest
 from ..network.signaling import SignalingTrace
 from ..network.topology import Network
+from ..parallel import ParallelExecutor, parallel_map
 from .faults import (
     CRASH,
     DELAY,
@@ -42,8 +44,14 @@ __all__ = [
     "ScheduleReport",
     "random_fault_plan",
     "run_schedule",
+    "run_schedules",
     "committed_states_equal",
 ]
+
+#: Per-switch journal digest: ``(switch, ((op, connection_id), ...))``
+#: rows in sorted switch order -- a picklable fingerprint of the exact
+#: op-for-op journal each switch wrote during the schedule.
+JournalDigest = Tuple[Tuple[str, Tuple[Tuple[str, str], ...]], ...]
 
 #: Drops are the common failure; crashes and link failures are rare but
 #: must still be survived, so they stay in the draw.
@@ -102,6 +110,9 @@ class ScheduleReport:
     consistent: bool
     equivalent: bool
     trace: SignalingTrace
+    #: Exact per-switch journal op sequences (see :data:`JournalDigest`);
+    #: what the parallel-equivalence CI job compares against serial runs.
+    journals: JournalDigest = field(default=())
 
     @property
     def ok(self) -> bool:
@@ -215,6 +226,12 @@ def run_schedule(seed: int,
             clean.setup(request)
     equivalent = committed_states_equal(faulted, clean)
 
+    journals: JournalDigest = tuple(
+        (name, tuple((entry.op, entry.connection_id)
+                     for entry in cac.journal.entries))
+        for name, cac in sorted(faulted.switches().items())
+    )
+
     return ScheduleReport(
         seed=seed,
         plan=plan,
@@ -225,4 +242,43 @@ def run_schedule(seed: int,
         consistent=consistent,
         equivalent=equivalent,
         trace=trace,
+        journals=journals,
     )
+
+
+def run_schedules(seeds: Iterable[int],
+                  network_factory: Callable[[], Network],
+                  request_factory: Callable[[Network],
+                                            Iterable[ConnectionRequest]],
+                  retry_policy: Optional[RetryPolicy] = None,
+                  hop_timeout: float = 8.0,
+                  max_faults: int = 4,
+                  batched: bool = False,
+                  jobs: int = 1,
+                  executor: Optional[ParallelExecutor] = None,
+                  ) -> List[ScheduleReport]:
+    """Run many seeded schedules, optionally fanned across processes.
+
+    Every schedule is an independent, fully seeded unit of work (its
+    own RNG, its own fresh topology), so batching them across workers
+    changes nothing about any individual run: the returned reports --
+    fault plans, established sets, signalling traces *and the per-switch
+    journal digests* -- are bit-identical to calling
+    :func:`run_schedule` serially over the same seeds, in seed order.
+    The property suite asserts exactly this equivalence.
+
+    ``jobs=0`` uses every available core; pass ``executor=`` to reuse a
+    live worker pool.  Both factories must be picklable (module-level
+    functions) for the parallel path; unpicklable factories degrade to
+    the serial loop with identical results.
+    """
+    task = functools.partial(
+        run_schedule,
+        network_factory=network_factory,
+        request_factory=request_factory,
+        retry_policy=retry_policy,
+        hop_timeout=hop_timeout,
+        max_faults=max_faults,
+        batched=batched,
+    )
+    return parallel_map(task, list(seeds), jobs=jobs, executor=executor)

@@ -26,10 +26,12 @@ rows; rendering lives in :mod:`repro.analysis.report`.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..analysis.capacity import max_feasible_load
+from ..parallel import ParallelExecutor, parallel_map
 from ..core.accumulation import CdvPolicy, make_policy
 from ..core.admission import NetworkCAC
 from ..core.bitstream import BitStream, Number, ZERO_STREAM, aggregate
@@ -320,11 +322,29 @@ class DelayCurvePoint:
     admissible: bool
 
 
+def _symmetric_point(load: float, terminals_per_node: int,
+                     ring_nodes: int, node_bound: Number,
+                     cdv_policy: Union[str, CdvPolicy]) -> DelayCurvePoint:
+    """One Figure 10 point; module-level so it fans out to workers."""
+    workload = symmetric_workload(load, ring_nodes, terminals_per_node)
+    analysis = RingAnalysis(workload, ring_nodes, node_bound, cdv_policy)
+    worst_link = analysis.worst_link_bound(CYCLIC_PRIORITY)
+    admissible = worst_link <= node_bound
+    delay = analysis.worst_e2e_bound(CYCLIC_PRIORITY)
+    return DelayCurvePoint(
+        load=float(load),
+        delay_bound=float(delay),
+        admissible=bool(admissible),
+    )
+
+
 def symmetric_delay_curve(loads: Sequence[float],
                           terminals_per_node: int,
                           ring_nodes: int = RING_NODES,
                           node_bound: Number = NODE_DELAY_BOUND,
                           cdv_policy: Union[str, CdvPolicy] = "hard",
+                          jobs: int = 1,
+                          executor: Optional[ParallelExecutor] = None,
                           ) -> List[DelayCurvePoint]:
     """Figure 10: end-to-end delay bound vs total symmetric load.
 
@@ -333,20 +353,17 @@ def symmetric_delay_curve(loads: Sequence[float],
     nodes.  A point is inadmissible when some link bound exceeds the
     advertised node bound (the CAC would refuse the set) -- the curve
     the paper plots ends there.
+
+    Each load point is an independent closed-form analysis, so
+    ``jobs > 1`` dispatches them across worker processes; the returned
+    list is bit-identical to the serial evaluation (``jobs=0`` = all
+    cores).
     """
-    points = []
-    for load in loads:
-        workload = symmetric_workload(load, ring_nodes, terminals_per_node)
-        analysis = RingAnalysis(workload, ring_nodes, node_bound, cdv_policy)
-        worst_link = analysis.worst_link_bound(CYCLIC_PRIORITY)
-        admissible = worst_link <= node_bound
-        delay = analysis.worst_e2e_bound(CYCLIC_PRIORITY)
-        points.append(DelayCurvePoint(
-            load=float(load),
-            delay_bound=float(delay),
-            admissible=bool(admissible),
-        ))
-    return points
+    task = functools.partial(
+        _symmetric_point, terminals_per_node=terminals_per_node,
+        ring_nodes=ring_nodes, node_bound=node_bound,
+        cdv_policy=cdv_policy)
+    return parallel_map(task, list(loads), jobs=jobs, executor=executor)
 
 
 def _asymmetric_feasible(load: float, hot_fraction: float,
@@ -384,6 +401,21 @@ class CapacityCurvePoint:
     max_load: float
 
 
+def _asymmetric_capacity_point(fraction: float, terminals_per_node: int,
+                               ring_nodes: int, node_bound: Number,
+                               cdv_policy: Union[str, CdvPolicy],
+                               e2e_requirement: Number,
+                               tolerance: float) -> CapacityCurvePoint:
+    """One Figure 11 bisection; module-level so it fans out to workers."""
+    best = max_feasible_load(
+        lambda load: _asymmetric_feasible(
+            load, fraction, ring_nodes, terminals_per_node,
+            node_bound, cdv_policy, e2e_requirement),
+        tolerance=tolerance,
+    )
+    return CapacityCurvePoint(float(fraction), best)
+
+
 def asymmetric_capacity_curve(hot_fractions: Sequence[float],
                               terminals_per_node: int,
                               ring_nodes: int = RING_NODES,
@@ -391,6 +423,8 @@ def asymmetric_capacity_curve(hot_fractions: Sequence[float],
                               cdv_policy: Union[str, CdvPolicy] = "hard",
                               e2e_requirement: Number = None,
                               tolerance: float = 1 / 128,
+                              jobs: int = 1,
+                              executor: Optional[ParallelExecutor] = None,
                               ) -> List[CapacityCurvePoint]:
     """Figure 11: max supportable total load vs asymmetry ``p``.
 
@@ -398,19 +432,19 @@ def asymmetric_capacity_curve(hot_fractions: Sequence[float],
     asymmetric workload keeps every link bound within the node bound
     and every broadcast's end-to-end bound within the requirement
     (default: the 1 ms high-speed deadline, about 370 cell times).
+
+    Each fraction's bisection is independent; ``jobs > 1`` fans them
+    across worker processes with bit-identical results.
     """
     if e2e_requirement is None:
         e2e_requirement = HIGH_SPEED_DELAY_CELLS
-    points = []
-    for fraction in hot_fractions:
-        best = max_feasible_load(
-            lambda load: _asymmetric_feasible(
-                load, fraction, ring_nodes, terminals_per_node,
-                node_bound, cdv_policy, e2e_requirement),
-            tolerance=tolerance,
-        )
-        points.append(CapacityCurvePoint(float(fraction), best))
-    return points
+    task = functools.partial(
+        _asymmetric_capacity_point,
+        terminals_per_node=terminals_per_node, ring_nodes=ring_nodes,
+        node_bound=node_bound, cdv_policy=cdv_policy,
+        e2e_requirement=e2e_requirement, tolerance=tolerance)
+    return parallel_map(task, list(hot_fractions), jobs=jobs,
+                        executor=executor)
 
 
 def priority_capacity_curve(hot_fractions: Sequence[float],
@@ -421,6 +455,8 @@ def priority_capacity_curve(hot_fractions: Sequence[float],
                             low_e2e_requirement: Number = None,
                             e2e_requirement: Number = None,
                             tolerance: float = 1 / 128,
+                            jobs: int = 1,
+                            executor: Optional[ParallelExecutor] = None,
                             ) -> List[Tuple[float, float, float]]:
     """Figure 12: one vs two priority levels on the asymmetric workload.
 
@@ -443,30 +479,43 @@ def priority_capacity_curve(hot_fractions: Sequence[float],
         low_queue_bound = node_bound * max(4, terminals_per_node)
     if low_e2e_requirement is None:
         low_e2e_requirement = e2e_requirement * 30   # the 30 ms class
-    rows = []
-    for fraction in hot_fractions:
-        single = max_feasible_load(
-            lambda load: _asymmetric_feasible(
-                load, fraction, ring_nodes, terminals_per_node,
-                node_bound, "hard", e2e_requirement),
-            tolerance=tolerance,
-        )
-        demoted = max_feasible_load(
-            lambda load: _asymmetric_feasible(
-                load, fraction, ring_nodes, terminals_per_node,
-                {CYCLIC_PRIORITY: node_bound, 1: low_queue_bound},
-                "hard", e2e_requirement,
-                hot_priority=1, other_priority=CYCLIC_PRIORITY,
-                e2e_requirements={CYCLIC_PRIORITY: e2e_requirement,
-                                  1: low_e2e_requirement}),
-            tolerance=tolerance,
-        )
-        # Two priority levels never force the demoted assignment: when
-        # demotion would hurt (small networks where the hot stream's own
-        # clumping dominates), the operator keeps everything at one
-        # level, so the supported capacity is the better of the two.
-        rows.append((float(fraction), single, max(single, demoted)))
-    return rows
+    task = functools.partial(
+        _priority_point, terminals_per_node=terminals_per_node,
+        ring_nodes=ring_nodes, node_bound=node_bound,
+        low_queue_bound=low_queue_bound,
+        low_e2e_requirement=low_e2e_requirement,
+        e2e_requirement=e2e_requirement, tolerance=tolerance)
+    return parallel_map(task, list(hot_fractions), jobs=jobs,
+                        executor=executor)
+
+
+def _priority_point(fraction: float, terminals_per_node: int,
+                    ring_nodes: int, node_bound: Number,
+                    low_queue_bound: Number, low_e2e_requirement: Number,
+                    e2e_requirement: Number,
+                    tolerance: float) -> Tuple[float, float, float]:
+    """One Figure 12 row (two bisections); fans out to workers."""
+    single = max_feasible_load(
+        lambda load: _asymmetric_feasible(
+            load, fraction, ring_nodes, terminals_per_node,
+            node_bound, "hard", e2e_requirement),
+        tolerance=tolerance,
+    )
+    demoted = max_feasible_load(
+        lambda load: _asymmetric_feasible(
+            load, fraction, ring_nodes, terminals_per_node,
+            {CYCLIC_PRIORITY: node_bound, 1: low_queue_bound},
+            "hard", e2e_requirement,
+            hot_priority=1, other_priority=CYCLIC_PRIORITY,
+            e2e_requirements={CYCLIC_PRIORITY: e2e_requirement,
+                              1: low_e2e_requirement}),
+        tolerance=tolerance,
+    )
+    # Two priority levels never force the demoted assignment: when
+    # demotion would hurt (small networks where the hot stream's own
+    # clumping dominates), the operator keeps everything at one
+    # level, so the supported capacity is the better of the two.
+    return (float(fraction), single, max(single, demoted))
 
 
 def vbr_workload(total_load: float, mbs_per_node: int,
@@ -490,11 +539,29 @@ def vbr_workload(total_load: float, mbs_per_node: int,
             for node in range(ring_nodes)}
 
 
+def _vbr_point(mbs: int, ring_nodes: int, node_bound: Number,
+               e2e_requirement: Number,
+               tolerance: float) -> Tuple[int, float]:
+    """One VBR-feasibility bisection; module-level for worker fan-out."""
+    def feasible(load: float) -> bool:
+        try:
+            workload = vbr_workload(load, mbs, ring_nodes)
+        except TrafficModelError:
+            return False
+        analysis = RingAnalysis(workload, ring_nodes, node_bound, "hard")
+        return analysis.feasible(
+            e2e_requirements={CYCLIC_PRIORITY: e2e_requirement})
+
+    return (mbs, max_feasible_load(feasible, tolerance=tolerance))
+
+
 def vbr_capacity_curve(mbs_values: Sequence[int],
                        ring_nodes: int = RING_NODES,
                        node_bound: Number = NODE_DELAY_BOUND,
                        e2e_requirement: Number = None,
                        tolerance: float = 1 / 128,
+                       jobs: int = 1,
+                       executor: Optional[ParallelExecutor] = None,
                        ) -> List[Tuple[int, float]]:
     """Max supportable VBR load vs per-node burst allowance.
 
@@ -507,22 +574,31 @@ def vbr_capacity_curve(mbs_values: Sequence[int],
     """
     if e2e_requirement is None:
         e2e_requirement = HIGH_SPEED_DELAY_CELLS
+    task = functools.partial(
+        _vbr_point, ring_nodes=ring_nodes, node_bound=node_bound,
+        e2e_requirement=e2e_requirement, tolerance=tolerance)
+    return parallel_map(task, list(mbs_values), jobs=jobs,
+                        executor=executor)
 
-    def feasible_for(mbs: int):
-        def feasible(load: float) -> bool:
-            try:
-                workload = vbr_workload(load, mbs, ring_nodes)
-            except TrafficModelError:
-                return False
-            analysis = RingAnalysis(workload, ring_nodes, node_bound, "hard")
-            return analysis.feasible(
-                e2e_requirements={CYCLIC_PRIORITY: e2e_requirement})
-        return feasible
 
-    return [
-        (mbs, max_feasible_load(feasible_for(mbs), tolerance=tolerance))
-        for mbs in mbs_values
-    ]
+def _soft_hard_point(fraction: float, terminals_per_node: int,
+                     ring_nodes: int, node_bound: Number,
+                     e2e_requirement: Number,
+                     tolerance: float) -> Tuple[float, float, float]:
+    """One Figure 13 row (hard + soft bisections); fans out to workers."""
+    hard = max_feasible_load(
+        lambda load: _asymmetric_feasible(
+            load, fraction, ring_nodes, terminals_per_node,
+            node_bound, "hard", e2e_requirement),
+        tolerance=tolerance,
+    )
+    soft = max_feasible_load(
+        lambda load: _asymmetric_feasible(
+            load, fraction, ring_nodes, terminals_per_node,
+            node_bound, "soft", e2e_requirement),
+        tolerance=tolerance,
+    )
+    return (float(fraction), hard, soft)
 
 
 def soft_hard_capacity_curve(hot_fractions: Sequence[float],
@@ -531,27 +607,21 @@ def soft_hard_capacity_curve(hot_fractions: Sequence[float],
                              node_bound: Number = NODE_DELAY_BOUND,
                              e2e_requirement: Number = None,
                              tolerance: float = 1 / 128,
+                             jobs: int = 1,
+                             executor: Optional[ParallelExecutor] = None,
                              ) -> List[Tuple[float, float, float]]:
     """Figure 13: hard vs soft CDV accumulation on the asymmetric load.
 
     Returns ``(p, max_load_hard, max_load_soft)`` rows; the soft scheme
-    assumes less clumping and therefore admits at least as much.
+    assumes less clumping and therefore admits at least as much.  Rows
+    are independent: ``jobs > 1`` fans them across worker processes
+    with bit-identical results.
     """
     if e2e_requirement is None:
         e2e_requirement = HIGH_SPEED_DELAY_CELLS
-    rows = []
-    for fraction in hot_fractions:
-        hard = max_feasible_load(
-            lambda load: _asymmetric_feasible(
-                load, fraction, ring_nodes, terminals_per_node,
-                node_bound, "hard", e2e_requirement),
-            tolerance=tolerance,
-        )
-        soft = max_feasible_load(
-            lambda load: _asymmetric_feasible(
-                load, fraction, ring_nodes, terminals_per_node,
-                node_bound, "soft", e2e_requirement),
-            tolerance=tolerance,
-        )
-        rows.append((float(fraction), hard, soft))
-    return rows
+    task = functools.partial(
+        _soft_hard_point, terminals_per_node=terminals_per_node,
+        ring_nodes=ring_nodes, node_bound=node_bound,
+        e2e_requirement=e2e_requirement, tolerance=tolerance)
+    return parallel_map(task, list(hot_fractions), jobs=jobs,
+                        executor=executor)

@@ -161,13 +161,26 @@ def failover_capacity(terminals_per_node: int,
     return healthy, wrapped
 
 
+def _failover_row(count: int, ring_nodes: int,
+                  tolerance: float) -> Tuple[int, float, float]:
+    """One curve row; module-level so it can fan out to workers."""
+    return (count, *failover_capacity(count, ring_nodes,
+                                      tolerance=tolerance))
+
+
 def failover_capacity_curve(terminal_counts: Sequence[int],
                             ring_nodes: int = RING_NODES,
                             tolerance: float = 1 / 128,
+                            jobs: int = 1,
                             ) -> List[Tuple[int, float, float]]:
-    """``(N, healthy, wrapped)`` rows across terminal counts."""
-    return [
-        (count, *failover_capacity(count, ring_nodes,
-                                   tolerance=tolerance))
-        for count in terminal_counts
-    ]
+    """``(N, healthy, wrapped)`` rows across terminal counts.
+
+    Rows are independent bisection pairs; ``jobs > 1`` fans them across
+    worker processes with bit-identical results.
+    """
+    import functools
+
+    from ..parallel import parallel_map
+    task = functools.partial(_failover_row, ring_nodes=ring_nodes,
+                             tolerance=tolerance)
+    return parallel_map(task, list(terminal_counts), jobs=jobs)

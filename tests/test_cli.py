@@ -80,6 +80,42 @@ class TestCommands:
         assert out.startswith("mbs_per_node,max_load")
 
 
+class TestJobsFlag:
+    def test_help_documents_jobs(self):
+        helptext = build_parser().format_help()
+        assert "--jobs" in helptext
+        assert "0 = os.cpu_count()" in helptext
+
+    def test_default_is_serial(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.jobs == 1
+
+    def test_zero_means_all_cores(self):
+        args = build_parser().parse_args(["--jobs", "0", "table1"])
+        assert args.jobs == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--jobs", "-2", "table1"])
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--jobs", "many", "table1"])
+
+    def test_parallel_output_matches_serial(self, capsys):
+        argv = ["fig10", "--loads", "0.25", "0.5",
+                "--terminals", "1", "4", "--ring-nodes", "8"]
+        serial = run(capsys, *argv)
+        fanned = run(capsys, "--jobs", "2", *argv)
+        assert fanned == serial
+
+    def test_parallel_csv_matches_serial(self, capsys):
+        argv = ["--csv", "vbr", "--mbs", "1", "4", "--ring-nodes", "8"]
+        serial = run(capsys, *argv)
+        fanned = run(capsys, "--jobs", "2", *argv)
+        assert fanned == serial
+
+
 class TestObsCommand:
     def test_table_output(self, capsys):
         out = run(capsys, "obs")

@@ -1,0 +1,166 @@
+"""Parallel fan-out is bit-identical to serial execution.
+
+The determinism contract of :mod:`repro.parallel`: ``jobs=N`` must
+return *exactly* what the serial loop returns -- same floats, same
+report fields, same per-switch journal digests.  The CI
+parallel-equivalence job runs this module with
+``PARALLEL_EQUIV_SCHEDULES`` raised; the local default keeps it quick.
+"""
+
+import multiprocessing
+import os
+from fractions import Fraction as F
+
+import pytest
+
+from repro.analysis.sweep import sweep_1d, sweep_2d
+from repro.core.traffic import cbr
+from repro.network.connection import ConnectionRequest
+from repro.network.routing import shortest_path
+from repro.network.topology import line_network
+from repro.parallel import ParallelExecutor
+from repro.robustness.harness import run_schedule, run_schedules
+from repro.rtnet.evaluation import symmetric_delay_curve, vbr_capacity_curve
+from repro.rtnet.failover import failover_capacity_curve
+
+SCHEDULES = int(os.environ.get("PARALLEL_EQUIV_SCHEDULES", "8"))
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_FORK, reason="no fork start method on this platform")
+
+
+# -- picklable work functions and factories (module-level on purpose) --
+
+def triple(x):
+    return x * 3
+
+
+def ratio(a, b):
+    return a / b
+
+
+def fault_network():
+    return line_network(4, bounds={0: 64}, terminals_per_switch=2)
+
+
+def fault_requests(network):
+    rates = [F(1, 10), F(1, 12), F(1, 9), F(1, 14)]
+    spans = [("t0.0", "t3.0"), ("t0.1", "t2.0"),
+             ("t1.0", "t3.1"), ("t2.1", "t3.0")]
+    return [
+        ConnectionRequest(f"vc{index}", cbr(rate),
+                          shortest_path(network, src, dst))
+        for index, (rate, (src, dst)) in enumerate(zip(rates, spans))
+    ]
+
+
+#: One pool shared across the module: cheaper than a pool per test, and
+#: exactly the reuse pattern the executor is designed for.
+@pytest.fixture(scope="module")
+def pool():
+    with ParallelExecutor(jobs=4) as executor:
+        yield executor
+
+
+class TestSweepEquivalence:
+    def test_sweep_1d(self, pool):
+        values = [0.125 * step for step in range(24)]
+        serial = sweep_1d(triple, values)
+        fanned = sweep_1d(triple, values, executor=pool)
+        assert pool.last_fallback is None
+        assert fanned.rows == serial.rows
+
+    def test_sweep_2d(self, pool):
+        serial = sweep_2d(ratio, [1.0, 2.0, 3.0], [7.0, 11.0, 13.0])
+        fanned = sweep_2d(ratio, [1.0, 2.0, 3.0], [7.0, 11.0, 13.0],
+                          executor=pool)
+        assert fanned.rows == serial.rows
+        assert fanned.csv() == serial.csv()
+
+    def test_sweep_jobs_argument(self):
+        values = list(range(16))
+        assert sweep_1d(triple, values, jobs=4).rows == \
+            sweep_1d(triple, values).rows
+
+
+class TestCurveEquivalence:
+    def test_symmetric_delay_curve(self, pool):
+        loads = [0.1, 0.3, 0.5, 0.7, 0.9]
+        serial = symmetric_delay_curve(loads, terminals_per_node=4,
+                                       ring_nodes=8)
+        fanned = symmetric_delay_curve(loads, terminals_per_node=4,
+                                       ring_nodes=8, executor=pool)
+        assert fanned == serial
+
+    def test_vbr_capacity_curve(self, pool):
+        serial = vbr_capacity_curve([1, 4, 8], ring_nodes=8)
+        fanned = vbr_capacity_curve([1, 4, 8], ring_nodes=8, executor=pool)
+        assert fanned == serial
+
+    def test_failover_capacity_curve(self):
+        serial = failover_capacity_curve([1, 2], ring_nodes=8,
+                                         tolerance=1 / 16)
+        fanned = failover_capacity_curve([1, 2], ring_nodes=8,
+                                         tolerance=1 / 16, jobs=4)
+        assert fanned == serial
+
+
+class TestFaultScheduleEquivalence:
+    def test_run_schedules_matches_serial(self, pool):
+        seeds = range(SCHEDULES)
+        serial = [run_schedule(seed, fault_network, fault_requests)
+                  for seed in seeds]
+        fanned = run_schedules(seeds, fault_network, fault_requests,
+                               executor=pool)
+        assert pool.last_fallback is None
+        assert len(fanned) == len(serial)
+        for ours, theirs in zip(fanned, serial):
+            assert ours.seed == theirs.seed
+            assert ours.plan == theirs.plan
+            assert ours.attempted == theirs.attempted
+            assert ours.established == theirs.established
+            assert ours.errors == theirs.errors
+            assert ours.recovered == theirs.recovered
+            assert ours.consistent == theirs.consistent
+            assert ours.equivalent == theirs.equivalent
+            assert ours.journals == theirs.journals
+            assert ours.trace.messages == theirs.trace.messages
+
+    def test_journal_digests_populated(self):
+        report = run_schedule(0, fault_network, fault_requests)
+        assert report.journals
+        switch_names = [name for name, _ops in report.journals]
+        assert switch_names == sorted(switch_names)
+
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis always in CI
+    pass
+else:
+    class TestPropertyEquivalence:
+        """Random inputs, same contract: fan-out == serial, bit for bit."""
+
+        @settings(max_examples=15, deadline=None,
+                  suppress_health_check=[HealthCheck.function_scoped_fixture])
+        @given(st.lists(
+            st.floats(min_value=-1e6, max_value=1e6,
+                      allow_nan=False, allow_subnormal=False),
+            max_size=40))
+        def test_sweep_1d_any_floats(self, pool, values):
+            assert sweep_1d(triple, values, executor=pool).rows == \
+                sweep_1d(triple, values).rows
+
+        @settings(max_examples=10, deadline=None,
+                  suppress_health_check=[HealthCheck.function_scoped_fixture])
+        @given(st.integers(min_value=0, max_value=2**31 - 1))
+        def test_fault_schedule_any_seed(self, pool, seed):
+            serial = run_schedule(seed, fault_network, fault_requests)
+            fanned, = run_schedules([seed, seed], fault_network,
+                                    fault_requests, executor=pool)[:1]
+            assert fanned.journals == serial.journals
+            assert fanned.established == serial.established
+            assert fanned.errors == serial.errors

@@ -1,0 +1,244 @@
+"""The repro.parallel fan-out engine and the metrics merge it relies on."""
+
+import multiprocessing
+
+import pytest
+
+from repro.obs import metrics as om
+from repro.parallel import (
+    ParallelExecutor,
+    available_parallelism,
+    parallel_map,
+    resolve_jobs,
+)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(
+    not HAVE_FORK, reason="no fork start method on this platform")
+
+
+# Module-level so the workers can unpickle them by reference.
+def double(x):
+    return x * 2
+
+
+def add(a, b):
+    return a + b
+
+
+def boom(x):
+    if x == 3:
+        raise ValueError("boom at 3")
+    return x
+
+
+def observe_item(x):
+    registry = om.get_registry()
+    registry.counter("par_items_total").inc()
+    registry.gauge("par_max_item").set_max(x)
+    registry.histogram("par_item_value", buckets=(1.0, 10.0)).observe(float(x))
+    return x
+
+
+class TestResolveJobs:
+    def test_serial_defaults(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == available_parallelism()
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(5) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-1)
+
+    def test_available_parallelism_sane(self):
+        assert available_parallelism() >= 1
+
+
+class TestSerialPath:
+    def test_jobs_1_never_creates_a_pool(self):
+        pool = ParallelExecutor(jobs=1)
+        assert pool.map(double, [3, 1, 2]) == [6, 2, 4]
+        assert pool._pool is None
+        assert pool.last_fallback is None
+
+    def test_single_item_stays_in_process(self):
+        pool = ParallelExecutor(jobs=4)
+        assert pool.map(double, [7]) == [14]
+        assert pool._pool is None
+
+    def test_unpicklable_fn_falls_back(self):
+        pool = ParallelExecutor(jobs=2)
+        result = pool.map(lambda x: x + 1, [1, 2, 3])
+        assert result == [2, 3, 4]
+        assert "not picklable" in pool.last_fallback
+
+    def test_unpicklable_item_falls_back(self):
+        pool = ParallelExecutor(jobs=2)
+        items = [lambda: 1, lambda: 2]
+        assert pool.map(callable, items) == [True, True]
+        assert "not picklable" in pool.last_fallback
+
+    def test_parallel_map_serial(self):
+        assert parallel_map(double, [1, 2], jobs=1) == [2, 4]
+
+    def test_empty_items(self):
+        assert ParallelExecutor(jobs=4).map(double, []) == []
+
+    def test_exceptions_propagate_serially(self):
+        with pytest.raises(ValueError, match="boom at 3"):
+            ParallelExecutor(jobs=1).map(boom, [1, 3, 5])
+
+
+@needs_fork
+class TestParallelPath:
+    def test_matches_serial(self):
+        with ParallelExecutor(jobs=2) as pool:
+            assert pool.map(double, list(range(20))) == [
+                double(x) for x in range(20)]
+            assert pool.last_fallback is None
+            assert pool._pool is not None
+
+    def test_pool_reused_across_maps(self):
+        with ParallelExecutor(jobs=2) as pool:
+            pool.map(double, list(range(8)))
+            first = pool._pool
+            pool.map(double, list(range(8)))
+            assert pool._pool is first
+
+    def test_starmap(self):
+        with ParallelExecutor(jobs=2) as pool:
+            assert pool.starmap(add, [(1, 2), (3, 4), (5, 6), (7, 8)]) \
+                == [3, 7, 11, 15]
+
+    def test_explicit_chunk_size(self):
+        with ParallelExecutor(jobs=2, chunk_size=1) as pool:
+            assert pool.map(double, [5, 6, 7]) == [10, 12, 14]
+
+    def test_exceptions_propagate(self):
+        with ParallelExecutor(jobs=2, chunk_size=1) as pool:
+            with pytest.raises(ValueError, match="boom at 3"):
+                pool.map(boom, [1, 2, 3, 4])
+
+    def test_close_is_idempotent(self):
+        pool = ParallelExecutor(jobs=2)
+        pool.map(double, [1, 2, 3, 4])
+        pool.close()
+        assert pool._pool is None
+        pool.close()
+
+    def test_parallel_map_one_shot(self):
+        assert parallel_map(double, list(range(10)), jobs=2) == [
+            double(x) for x in range(10)]
+
+    def test_repr_reports_pool_state(self):
+        pool = ParallelExecutor(jobs=2)
+        assert "idle" in repr(pool)
+        pool.map(double, [1, 2, 3, 4])
+        assert "live" in repr(pool)
+        pool.close()
+
+    def test_worker_metrics_travel_back(self):
+        previous = om.set_registry(om.MetricsRegistry())
+        try:
+            registry = om.get_registry()
+            with ParallelExecutor(jobs=2, chunk_size=2) as pool:
+                pool.map(observe_item, list(range(1, 9)))
+            assert registry.value("par_items_total") == 8
+            assert registry.value("par_max_item") == 8
+            histogram = registry.histogram("par_item_value",
+                                           buckets=(1.0, 10.0))
+            assert histogram.count == 8
+            assert histogram.sum == float(sum(range(1, 9)))
+        finally:
+            om.set_registry(previous)
+
+    def test_disabled_registry_captures_nothing(self):
+        assert isinstance(om.get_registry(), om.NullRegistry)
+        with ParallelExecutor(jobs=2) as pool:
+            pool.map(observe_item, list(range(8)))
+        assert isinstance(om.get_registry(), om.NullRegistry)
+
+
+class TestMergeSnapshot:
+    def test_counters_add(self):
+        ours, theirs = om.MetricsRegistry(), om.MetricsRegistry()
+        ours.counter("work_total", kind="a").inc(2)
+        theirs.counter("work_total", kind="a").inc(3)
+        theirs.counter("work_total", kind="b").inc(1)
+        ours.merge_snapshot(theirs.samples())
+        assert ours.value("work_total", kind="a") == 5
+        assert ours.value("work_total", kind="b") == 1
+
+    def test_gauges_keep_the_max(self):
+        ours, theirs = om.MetricsRegistry(), om.MetricsRegistry()
+        ours.gauge("worst_delay").set(10)
+        theirs.gauge("worst_delay").set(4)
+        ours.merge_snapshot(theirs.samples())
+        assert ours.value("worst_delay") == 10
+        theirs.gauge("worst_delay").set(25)
+        ours.merge_snapshot(theirs.samples())
+        assert ours.value("worst_delay") == 25
+
+    def test_histograms_merge_bucket_by_bucket(self):
+        ours, theirs = om.MetricsRegistry(), om.MetricsRegistry()
+        reference = om.MetricsRegistry()
+        bounds = (1.0, 5.0, 25.0)
+        for value in (0.5, 3.0, 100.0):
+            ours.histogram("rtt", buckets=bounds).observe(value)
+            reference.histogram("rtt", buckets=bounds).observe(value)
+        for value in (2.0, 2.0, 30.0):
+            theirs.histogram("rtt", buckets=bounds).observe(value)
+            reference.histogram("rtt", buckets=bounds).observe(value)
+        ours.merge_snapshot(theirs.samples())
+        merged = ours.histogram("rtt", buckets=bounds)
+        expected = reference.histogram("rtt", buckets=bounds)
+        assert merged.bucket_counts == expected.bucket_counts
+        assert merged.count == expected.count
+        assert merged.sum == expected.sum
+        assert ours.samples() == reference.samples()
+
+    def test_histogram_into_empty_registry(self):
+        theirs = om.MetricsRegistry()
+        theirs.histogram("rtt", buckets=(1.0, 2.0)).observe(1.5)
+        ours = om.MetricsRegistry()
+        ours.merge_snapshot(theirs.samples())
+        assert ours.samples() == theirs.samples()
+
+    def test_histogram_layout_mismatch_raises(self):
+        ours, theirs = om.MetricsRegistry(), om.MetricsRegistry()
+        ours.histogram("rtt", buckets=(1.0, 2.0)).observe(0.5)
+        theirs.histogram("rtt", buckets=(1.0, 4.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket layout"):
+            ours.merge_snapshot(theirs.samples())
+
+    def test_kind_conflict_raises(self):
+        ours, theirs = om.MetricsRegistry(), om.MetricsRegistry()
+        ours.gauge("thing").set(1)
+        theirs.counter("thing").inc()
+        with pytest.raises(ValueError, match="already registered"):
+            ours.merge_snapshot(theirs.samples())
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            om.MetricsRegistry().merge_snapshot(
+                [{"name": "x", "kind": "meter", "labels": {}, "value": 1}])
+
+    def test_null_registry_merge_is_a_noop(self):
+        om.NullRegistry().merge_snapshot(
+            [{"name": "x", "kind": "counter", "labels": {}, "value": 1}])
+
+    def test_merge_is_associative_with_disjoint_names(self):
+        ours = om.MetricsRegistry()
+        one, two = om.MetricsRegistry(), om.MetricsRegistry()
+        one.counter("a_total").inc(1)
+        two.gauge("b_peak").set(7)
+        ours.merge_snapshot(one.samples())
+        ours.merge_snapshot(two.samples())
+        assert ours.value("a_total") == 1
+        assert ours.value("b_peak") == 7

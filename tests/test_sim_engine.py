@@ -104,3 +104,110 @@ class TestRunControl:
         engine.schedule(0.0, rearm)
         with pytest.raises(SimulationError, match="max_events"):
             engine.run(until=1e12, max_events=100)
+
+
+class TestScheduleMany:
+    def test_matches_individual_scheduling(self):
+        batched, loop = Engine(), Engine()
+        times = [3.0, 1.0, 2.0, 1.0, 5.0]
+        fired_batched, fired_loop = [], []
+        batched.schedule_many(
+            (t, lambda i=i: fired_batched.append(i))
+            for i, t in enumerate(times))
+        for i, t in enumerate(times):
+            loop.schedule(t, lambda i=i: fired_loop.append(i))
+        batched.run()
+        loop.run()
+        assert fired_batched == fired_loop == [1, 3, 2, 0, 4]
+
+    def test_ties_against_prior_schedule_calls(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("first"))
+        engine.schedule_many([(1.0, lambda: fired.append("second")),
+                              (1.0, lambda: fired.append("third"))])
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_returns_cancellable_handles(self):
+        engine = Engine()
+        fired = []
+        handles = engine.schedule_many(
+            [(1.0, lambda: fired.append(1)), (2.0, lambda: fired.append(2))])
+        assert len(handles) == 2
+        handles[0].cancel()
+        engine.run()
+        assert fired == [2]
+
+    def test_rejects_past_times(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError, match="past"):
+            engine.schedule_many([(1.0, lambda: None)])
+
+    def test_empty_iterable(self):
+        engine = Engine()
+        assert engine.schedule_many([]) == []
+        assert engine.heap_size == 0
+
+
+class TestLazyCancelCompaction:
+    def test_heap_stays_bounded_under_churn(self):
+        """Schedule/cancel cycles (re-armed timers) must not leak."""
+        engine = Engine()
+        live = [engine.schedule(1e9, lambda: None) for _ in range(50)]
+        for step in range(10_000):
+            engine.schedule(float(step + 1), lambda: None).cancel()
+            assert engine.heap_size <= 250
+        assert engine.pending_events == 50
+        assert all(not handle.cancelled for handle in live)
+
+    def test_compaction_preserves_firing_order(self):
+        churny, reference = Engine(), Engine()
+        fired_churny, fired_reference = [], []
+        for engine, fired in ((churny, fired_churny),
+                              (reference, fired_reference)):
+            for i in range(40):
+                engine.schedule(10.0 + (i % 4),
+                                lambda i=i, out=fired: out.append(i))
+        # Only the churny engine takes enough cancels to compact.
+        for _ in range(5):
+            doomed = [churny.schedule(5.0, lambda: None)
+                      for _ in range(100)]
+            for handle in doomed:
+                handle.cancel()
+        churny.run()
+        reference.run()
+        assert fired_churny == fired_reference
+
+    def test_cancel_is_idempotent_in_the_accounting(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending_events == 1
+
+    def test_pending_events_tracks_cancellations(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(10)]
+        assert engine.pending_events == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert engine.pending_events == 6
+        engine.run()
+        assert engine.pending_events == 0
+        assert engine.events_processed == 6
+
+    def test_small_heaps_never_compact(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # All ten stay in the heap lazily (below the compaction floor).
+        assert engine.heap_size == 10
+        engine.run()
+        assert engine.events_processed == 0

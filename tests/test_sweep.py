@@ -42,3 +42,46 @@ class TestSweep2d:
         values = result.values()
         assert values[0] < values[1]        # more load, bigger bound
         assert values[0] < values[2]        # more terminals, bigger bound
+
+
+class TestSweepEdgeCases:
+    def test_empty_first_axis(self):
+        result = sweep_2d(lambda a, b: a + b, [], [1, 2])
+        assert result.rows == []
+        assert result.values() == []
+
+    def test_empty_second_axis(self):
+        result = sweep_2d(lambda a, b: a + b, [1, 2], [])
+        assert result.rows == []
+
+    def test_empty_1d(self):
+        result = sweep_1d(lambda x: x, [])
+        assert result.rows == []
+        assert result.csv() == "x,value"
+
+    def test_single_point_1d(self):
+        result = sweep_1d(lambda x: -x, [5])
+        assert result.rows == [[5, -5]]
+
+    def test_single_point_2d(self):
+        result = sweep_2d(lambda a, b: a * b, [3], [4])
+        assert result.rows == [[3, 4, 12]]
+
+    def test_csv_quotes_embedded_commas(self):
+        out = sweep_1d(lambda x: f"a,{x}", ["p,q"], param="x,y").csv()
+        lines = out.splitlines()
+        assert lines[0] == '"x,y",value'
+        assert lines[1] == '"p,q","a,p,q"'
+
+    def test_csv_escapes_embedded_quotes(self):
+        out = sweep_1d(lambda x: 'say "hi"', [1]).csv()
+        assert '"say ""hi"""' in out
+
+    def test_csv_plain_fields_stay_bare(self):
+        out = sweep_1d(lambda x: x + 0.5, [1, 2], param="load").csv()
+        assert '"' not in out
+        assert out.splitlines()[1] == "1,1.5"
+
+    def test_table_with_awkward_strings(self):
+        out = sweep_1d(lambda x: "a,b | c", [1], param="p").table()
+        assert "a,b | c" in out
