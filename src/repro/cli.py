@@ -11,6 +11,7 @@ Installed as ``repro-eval`` (or run as ``python -m repro.cli``):
    repro-eval fig13
    repro-eval vbr --mbs 1 8 16
    repro-eval failover --terminals 1 16
+   repro-eval chaos --link ring0->ring1 --policy migrate-or-drop
    repro-eval obs --prom           # instrumented plant-mix run, metrics dump
    repro-eval --csv fig10          # machine-readable output
    repro-eval --jobs 4 fig11       # fan scenarios across 4 worker processes
@@ -105,6 +106,22 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--terminals", type=int, nargs="+",
                           default=[1, 4, 8, 16])
     failover.add_argument("--ring-nodes", type=int, default=16)
+
+    chaos = sub.add_parser(
+        "chaos", help="fail a ring link mid-service and migrate around it")
+    chaos.add_argument("--ring-nodes", type=int, default=8)
+    chaos.add_argument("--sets-per-node", type=int, default=1,
+                       help="Table 1 class sets per ring node "
+                            "(3 terminals each)")
+    chaos.add_argument("--link", default=None,
+                       help="link to fail (default: first primary "
+                            "ring link)")
+    chaos.add_argument("--policy", choices=["migrate-or-drop",
+                                            "migrate-or-keep"],
+                       default="migrate-or-drop")
+    chaos.add_argument("--obs", action="store_true",
+                       help="run instrumented and dump the "
+                            "survivability counters")
 
     obs_cmd = sub.add_parser(
         "obs", help="run the Table 1 plant mix instrumented; dump metrics")
@@ -227,6 +244,51 @@ def _run_failover(args) -> None:
           "Failover: capacity before/after a single ring failure")
 
 
+def _run_chaos(args) -> None:
+    from .rtnet.failover import failover_migration_study
+
+    def study():
+        return failover_migration_study(
+            ring_nodes=args.ring_nodes, sets_per_node=args.sets_per_node,
+            link=args.link, policy=args.policy,
+        )
+
+    if args.obs:
+        from . import obs
+        from .robustness.retry import ManualClock
+
+        obs.enable(clock_source=ManualClock())
+        try:
+            result = study()
+        finally:
+            obs.disable()
+    else:
+        result = study()
+
+    latency = (round(result.detection_latency, 1)
+               if result.detection_latency is not None else "undetected")
+    rows = [
+        ["terminals", result.terminals],
+        ["established", result.established],
+        ["refused", result.refused],
+        ["failed link", result.link],
+        ["policy", result.policy],
+        ["probes to detect", result.probes_to_detect],
+        ["detection latency", latency],
+        ["migrated", len(result.migrated)],
+        ["dropped", len(result.dropped)],
+        ["kept", len(result.kept)],
+        ["open hops", ", ".join(result.open_hops) or "none"],
+        ["breaker reclosed", result.breaker_reclosed],
+        ["booking safe", result.booking_safe],
+    ]
+    _emit(args, ["metric", "value"], rows,
+          f"Chaos: live migration around {result.link} "
+          f"({args.ring_nodes} ring nodes)")
+    for key in sorted(result.metrics):
+        print(f"{key} {result.metrics[key]:g}")
+
+
 def _run_obs(args) -> None:
     from . import obs
     from .obs import export
@@ -268,6 +330,7 @@ _RUNNERS = {
     "fig13": _run_fig13,
     "vbr": _run_vbr,
     "failover": _run_failover,
+    "chaos": _run_chaos,
     "obs": _run_obs,
 }
 

@@ -23,8 +23,9 @@ state and can also answer hypothetical (non-mutating) queries.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
+    AbstractSet,
     Callable,
     Dict,
     Iterable,
@@ -32,13 +33,17 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
 
 from ..exceptions import (
     AdmissionError,
+    LinkDown,
+    MigrationError,
     QosUnsatisfiable,
+    RoutingError,
     SignalingTimeout,
     SwitchRejection,
     SwitchUnavailable,
@@ -48,12 +53,13 @@ from ..network.connection import (
     EstablishedConnection,
     HopCommitment,
 )
-from ..network.routing import Route
+from ..network.routing import Route, shortest_path
 from ..network.signaling import (
     AbortMessage,
     BatchSetupMessage,
     CommitMessage,
     ConnectedMessage,
+    ProbeMessage,
     RejectMessage,
     ReleaseMessage,
     SetupMessage,
@@ -63,7 +69,17 @@ from ..network.signaling import (
 from ..network.topology import Network
 from ..obs import metrics as _om
 from ..obs import spans as _ospans
+from ..robustness.breaker import BreakerBoard, CircuitBreaker
 from ..robustness.faults import FaultInjector
+from ..robustness.health import HealthMonitor
+from ..robustness.migration import (
+    DROPPED,
+    KEPT,
+    MIGRATED,
+    POLICIES,
+    MigrationJournal,
+    MigrationReport,
+)
 from ..robustness.retry import ManualClock, RetryPolicy
 from .accumulation import CdvPolicy, make_policy
 from .bitstream import BitStream, Number
@@ -131,6 +147,20 @@ class NetworkCAC:
         :class:`SwitchCAC` should use (e.g.
         ``lambda name: ShardedAdmissionStore(8)``); ``None`` gives
         every switch the default in-memory store.
+    breaker_threshold / breaker_reset_timeout:
+        Circuit-breaker tuning: consecutive delivery failures that trip
+        a hop's breaker open, and how long (simulated time) the breaker
+        fast-fails before letting a half-open probe through (see
+        ``docs/robustness.md``).
+    suspicion_threshold:
+        Consecutive timeouts before the :attr:`health` monitor declares
+        a link or switch down.
+
+    Every instance owns a survivability layer: :attr:`health` (the
+    failure detector fed by delivery outcomes), :attr:`breakers` (one
+    circuit breaker per signaling hop, with the epoch-reconciliation
+    close hook installed) and :attr:`migration_journal` (the network
+    level record of every live migration).
 
     Examples
     --------
@@ -156,7 +186,10 @@ class NetworkCAC:
                  clock: Optional[ManualClock] = None,
                  rng: Optional[random.Random] = None,
                  store_factory: Optional[
-                     Callable[[str], AdmissionStore]] = None):
+                     Callable[[str], AdmissionStore]] = None,
+                 breaker_threshold: int = 3,
+                 breaker_reset_timeout: float = 64.0,
+                 suspicion_threshold: int = 3):
         self.network = network
         self.cdv_policy = make_policy(cdv_policy)
         self.filter_per_input = filter_per_input
@@ -167,6 +200,22 @@ class NetworkCAC:
         self.rng = rng or random.Random(0)
         self._switches: Dict[str, SwitchCAC] = {}
         self._established: Dict[str, EstablishedConnection] = {}
+        #: leg ids of walks currently in flight, so a breaker closing
+        #: mid-walk cannot reconcile away a half-committed booking
+        self._in_flight: Set[str] = set()
+        self.health = HealthMonitor(
+            clock=self.clock, suspicion_threshold=suspicion_threshold,
+        )
+        self.breakers = BreakerBoard(
+            clock=self.clock, failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset_timeout,
+            on_close=self._reconcile_breaker,
+        )
+        self.migration_journal = MigrationJournal()
+        if fault_injector is not None:
+            # Ground-truth failure instants, for the detection-latency
+            # histogram only (the detector itself sees just silence).
+            fault_injector.add_link_listener(self.health.link_listener())
         for switch in network.switches():
             cac = SwitchCAC(
                 switch.name, filter_per_input=filter_per_input,
@@ -197,16 +246,20 @@ class NetworkCAC:
         """All currently established connections, keyed by name."""
         return dict(self._established)
 
-    def _channel(self, trace: Optional[SignalingTrace]) -> SignalingChannel:
+    def _channel(self, trace: Optional[SignalingTrace],
+                 retry_policy: Optional[RetryPolicy] = None,
+                 ) -> SignalingChannel:
         """The signaling transport for one walk, sharing this CAC's clock."""
         return SignalingChannel(
             injector=self.fault_injector,
-            retry_policy=self.retry_policy,
+            retry_policy=retry_policy or self.retry_policy,
             clock=self.clock,
             rng=self.rng,
             hop_timeout=self.hop_timeout,
             trace=trace,
             crash_switch=lambda name: self._switches[name].crash(),
+            breakers=self.breakers,
+            health=self.health,
         )
 
     # ------------------------------------------------------------------
@@ -255,6 +308,24 @@ class NetworkCAC:
             raise AdmissionError(
                 f"connection {request.name!r} is already established"
             )
+        return self._establish(request, trace)
+
+    def _establish(self, request: ConnectionRequest,
+                   trace: Optional[SignalingTrace],
+                   switch_id: Optional[str] = None,
+                   generation: int = 0) -> EstablishedConnection:
+        """The two-phase walk behind :meth:`setup` and :meth:`migrate`.
+
+        ``switch_id`` is the id the per-switch legs are booked under --
+        the plain connection name for an original admission, a
+        versioned ``name@g<n>`` id for a migration, so the old and new
+        generations coexist at any shared switch during the
+        make-before-break window.  On success the established record
+        (of the given ``generation``) is registered under the plain
+        name, *replacing* any previous generation: that swap is the
+        migration's cutover.
+        """
+        leg_id = switch_id if switch_id is not None else request.name
         registry = _om.get_registry()
         started = self.clock.now()
 
@@ -274,7 +345,7 @@ class NetworkCAC:
         if request.delay_bound is not None and achievable > request.delay_bound:
             if trace is not None:
                 trace.record(RejectMessage(
-                    request.name, request.route.source,
+                    leg_id, request.route.source,
                     f"achievable bound {achievable} exceeds requested "
                     f"{request.delay_bound}",
                 ))
@@ -285,81 +356,102 @@ class NetworkCAC:
         committed: List[HopCommitment] = []
         envelope = request.traffic.worst_case_stream()
         touched = 0
-        with _ospans.span("admission.setup", connection=request.name,
-                          hops=len(hops)) as setup_span:
-            try:
-                # Phase 1: the SETUP message walks downstream, reserving.
-                for index, hop in enumerate(hops):
-                    cdv = self.cdv_policy.accumulate(bounds[:index])
-                    stream = envelope.delayed(cdv)
+        self._in_flight.add(leg_id)
+        try:
+            with _ospans.span("admission.setup", connection=leg_id,
+                              hops=len(hops)) as setup_span:
+                try:
+                    # Phase 1: the SETUP message walks downstream,
+                    # reserving.
+                    for index, hop in enumerate(hops):
+                        cdv = self.cdv_policy.accumulate(bounds[:index])
+                        stream = envelope.delayed(cdv)
 
-                    def process_reserve(hop=hop, cdv=cdv, stream=stream):
-                        if trace is not None:
-                            trace.record(SetupMessage(
-                                request.name, hop.switch,
-                                request.traffic.pcr, request.traffic.scr,
-                                request.traffic.mbs, request.delay_bound, cdv,
-                            ))
-                        return self.switch(hop.switch).reserve(
-                            request.name, hop.in_link, hop.out_link,
-                            request.priority, stream,
+                        def process_reserve(hop=hop, cdv=cdv, stream=stream):
+                            if trace is not None:
+                                trace.record(SetupMessage(
+                                    leg_id, hop.switch,
+                                    request.traffic.pcr, request.traffic.scr,
+                                    request.traffic.mbs, request.delay_bound,
+                                    cdv,
+                                ))
+                            return self.switch(hop.switch).reserve(
+                                leg_id, hop.in_link, hop.out_link,
+                                request.priority, stream,
+                            )
+
+                        touched = index + 1
+                        with _ospans.span("admission.hop",
+                                          connection=leg_id, hop=index,
+                                          switch=hop.switch,
+                                          out_link=hop.out_link):
+                            result = channel.deliver(
+                                "reserve", index, hop.switch, hop.in_link,
+                                leg_id, process_reserve,
+                            )
+                        committed.append(HopCommitment(
+                            switch=hop.switch,
+                            in_link=hop.in_link,
+                            out_link=hop.out_link,
+                            cdv_in=cdv,
+                            advertised_bound=bounds[index],
+                            computed_bound=result.computed_bounds[
+                                request.priority],
+                        ))
+                    # Phase 2: the COMMIT wave travels back upstream.
+                    for index, hop in reversed(list(enumerate(hops))):
+
+                        def process_commit(hop=hop):
+                            if trace is not None:
+                                trace.record(CommitMessage(leg_id,
+                                                           hop.switch))
+                            self.switch(hop.switch).commit(leg_id)
+
+                        channel.deliver(
+                            "commit", index, hop.switch, hop.in_link,
+                            leg_id, process_commit,
                         )
+                except SwitchRejection as rejection:
+                    setup_span.tag(outcome="rejected")
+                    self._unwind(leg_id, hops[:touched], channel, trace)
+                    if trace is not None:
+                        trace.record(RejectMessage(
+                            leg_id, rejection.switch, str(rejection),
+                        ))
+                    _finish("rejected")
+                    raise
+                except SignalingTimeout as timeout:
+                    setup_span.tag(outcome="timeout")
+                    self._unwind(leg_id, hops[:touched], channel, trace)
+                    if trace is not None:
+                        trace.record(RejectMessage(
+                            leg_id, timeout.at_node, str(timeout),
+                        ))
+                    _finish("timeout")
+                    raise
+                except LinkDown as down:
+                    # A hop's breaker is open: the walk fast-failed
+                    # without spending a single timeout.
+                    setup_span.tag(outcome="link-down")
+                    self._unwind(leg_id, hops[:touched], channel, trace)
+                    if trace is not None:
+                        trace.record(RejectMessage(
+                            leg_id, down.at_node, str(down),
+                        ))
+                    _finish("link-down")
+                    raise
+                setup_span.tag(outcome="accepted")
+        finally:
+            self._in_flight.discard(leg_id)
 
-                    touched = index + 1
-                    with _ospans.span("admission.hop",
-                                      connection=request.name, hop=index,
-                                      switch=hop.switch,
-                                      out_link=hop.out_link):
-                        result = channel.deliver(
-                            "reserve", index, hop.switch, hop.in_link,
-                            request.name, process_reserve,
-                        )
-                    committed.append(HopCommitment(
-                        switch=hop.switch,
-                        in_link=hop.in_link,
-                        out_link=hop.out_link,
-                        cdv_in=cdv,
-                        advertised_bound=bounds[index],
-                        computed_bound=result.computed_bounds[request.priority],
-                    ))
-                # Phase 2: the COMMIT wave travels back upstream.
-                for index, hop in reversed(list(enumerate(hops))):
-
-                    def process_commit(hop=hop):
-                        if trace is not None:
-                            trace.record(CommitMessage(request.name,
-                                                       hop.switch))
-                        self.switch(hop.switch).commit(request.name)
-
-                    channel.deliver(
-                        "commit", index, hop.switch, hop.in_link,
-                        request.name, process_commit,
-                    )
-            except SwitchRejection as rejection:
-                setup_span.tag(outcome="rejected")
-                self._unwind(request.name, hops[:touched], channel, trace)
-                if trace is not None:
-                    trace.record(RejectMessage(
-                        request.name, rejection.switch, str(rejection),
-                    ))
-                _finish("rejected")
-                raise
-            except SignalingTimeout as timeout:
-                setup_span.tag(outcome="timeout")
-                self._unwind(request.name, hops[:touched], channel, trace)
-                if trace is not None:
-                    trace.record(RejectMessage(
-                        request.name, timeout.at_node, str(timeout),
-                    ))
-                _finish("timeout")
-                raise
-            setup_span.tag(outcome="accepted")
-
-        established = EstablishedConnection(request, tuple(committed))
+        established = EstablishedConnection(
+            request, tuple(committed),
+            generation=generation, switch_id=switch_id,
+        )
         self._established[request.name] = established
         if trace is not None:
             trace.record(ConnectedMessage(
-                request.name, request.route.destination,
+                leg_id, request.route.destination,
                 established.e2e_bound,
             ))
         _finish("accepted")
@@ -393,7 +485,7 @@ class NetworkCAC:
                     "abort", index, hop.switch, hop.in_link, name,
                     process_abort,
                 )
-            except SignalingTimeout:
+            except (SignalingTimeout, LinkDown):
                 try:
                     cac.rollback(name)
                 except SwitchUnavailable:
@@ -448,6 +540,23 @@ class NetworkCAC:
             established = self._established.pop(name)
         except KeyError:
             raise AdmissionError(f"no established connection {name!r}") from None
+        self._release_legs(established, trace)
+        registry = _om.get_registry()
+        if registry.enabled:
+            registry.counter("network_teardowns_total").inc()
+
+    def _release_legs(self, established: EstablishedConnection,
+                      trace: Optional[SignalingTrace]) -> None:
+        """Release one generation's booking at every hop, best-effort.
+
+        Works off the connection's :attr:`leg_name` so it releases
+        exactly the generation it is handed -- :meth:`teardown` passes
+        the current one, :meth:`migrate` the superseded one.  A crashed
+        hop is skipped (reconciled in :meth:`recover_switch`) and an
+        undeliverable RELEASE -- timeout or an open breaker -- falls
+        back to reservation expiry, modelled as a direct rollback.
+        """
+        leg_id = established.leg_name
         channel = self._channel(trace)
         for index, commitment in enumerate(established.hops):
             cac = self._switches[commitment.switch]
@@ -456,22 +565,19 @@ class NetworkCAC:
 
             def process_release(commitment=commitment, cac=cac):
                 if trace is not None:
-                    trace.record(ReleaseMessage(name, commitment.switch))
-                cac.rollback(name)
+                    trace.record(ReleaseMessage(leg_id, commitment.switch))
+                cac.rollback(leg_id)
 
             try:
                 channel.deliver(
                     "release", index, commitment.switch, commitment.in_link,
-                    name, process_release,
+                    leg_id, process_release,
                 )
-            except SignalingTimeout:
+            except (SignalingTimeout, LinkDown):
                 try:
-                    cac.rollback(name)
+                    cac.rollback(leg_id)
                 except SwitchUnavailable:
                     pass
-        registry = _om.get_registry()
-        if registry.enabled:
-            registry.counter("network_teardowns_total").inc()
 
     def recover_switch(self, name: str) -> SwitchCAC:
         """Bring a crashed switch back and reconcile it with the network.
@@ -487,10 +593,238 @@ class NetworkCAC:
         """
         cac = self.switch(name)
         cac.recover()
-        for connection_id in list(cac.legs):
-            if connection_id not in self._established:
-                cac.rollback(connection_id)
+        self._reconcile_switch(cac)
         return cac
+
+    def _reconcile_switch(self, cac: SwitchCAC) -> None:
+        """Release every leg the network no longer accounts for.
+
+        The active set is keyed by :attr:`EstablishedConnection.leg_name`
+        (migrations book under versioned ids), plus the legs of any walk
+        currently in flight -- a breaker closing mid-commit-wave must
+        not reconcile away a booking that is about to register.
+        """
+        active = {c.leg_name for c in self._established.values()}
+        active.update(self._in_flight)
+        for connection_id in list(cac.legs):
+            if connection_id not in active:
+                cac.rollback(connection_id)
+
+    # ------------------------------------------------------------------
+    # Survivability: probing, breaker reconciliation, live migration
+    # ------------------------------------------------------------------
+
+    def _reconcile_breaker(self, breaker: CircuitBreaker) -> None:
+        """The breaker-close hook: reconcile the switch *before* trust.
+
+        Runs on every half-open -> closed transition, before the
+        breaker actually closes.  A switch that crashed behind the open
+        breaker is brought back through :meth:`recover_switch` (journal
+        replay plus reconciliation); one that restarted on its own --
+        detectable because its crash epoch moved past the breaker's
+        last known epoch -- gets the same orphan-leg reconciliation, so
+        bookings the network unwound or migrated away while the hop was
+        dark are released before any new traffic books through it.
+        """
+        cac = self._switches.get(breaker.node)
+        if cac is None:
+            return  # terminal hop: no CAC state to reconcile
+        if cac.crashed:
+            self.recover_switch(breaker.node)
+        else:
+            self._reconcile_switch(cac)
+        breaker.known_epoch = cac.epoch
+
+    def probe(self, hops: Optional[Iterable[Tuple[str, str]]] = None,
+              trace: Optional[SignalingTrace] = None) -> Dict[str, bool]:
+        """Actively probe signaling hops; returns ``{target: alive}``.
+
+        ``hops`` is an iterable of ``(switch, in_link)`` pairs;
+        ``None`` probes every link entering a switch.  Each probe is a
+        single non-retried delivery of a PING the switch answers with
+        its crash epoch (:meth:`SwitchCAC.ping`), so a probe through an
+        open breaker fast-fails, a probe after ``reset_timeout`` *is*
+        the breaker's half-open trial (closing it on success, after
+        reconciliation), and a lost probe counts as failure evidence
+        for both the breaker and the health monitor.  Targets are keyed
+        ``link@switch`` like the breaker metrics.
+        """
+        if hops is None:
+            hops = [(link.dst, link.name) for link in self.network.links()
+                    if link.dst in self._switches]
+        channel = self._channel(trace, retry_policy=RetryPolicy(
+            max_attempts=1,
+        ))
+        results: Dict[str, bool] = {}
+        for node, link in hops:
+            cac = self.switch(node)
+            epoch: Optional[int] = None
+
+            def process_ping(cac=cac):
+                return cac.ping()
+
+            try:
+                epoch = channel.deliver(
+                    "probe", 0, node, link, f"probe:{link}@{node}",
+                    process_ping,
+                )
+            except (SignalingTimeout, LinkDown):
+                ok = False
+            else:
+                ok = True
+                self.breakers.breaker(node, link).known_epoch = epoch
+            if trace is not None:
+                trace.record(ProbeMessage(node, link, ok, epoch))
+            results[f"{link}@{node}"] = ok
+        return results
+
+    def _count_migration(self, outcome: str) -> None:
+        registry = _om.get_registry()
+        if registry.enabled:
+            registry.counter("cac_migrations_total", outcome=outcome).inc()
+
+    def migrate(self, name: str, avoid: AbstractSet[str],
+                trace: Optional[SignalingTrace] = None,
+                ) -> EstablishedConnection:
+        """Move one established connection off the avoided elements.
+
+        Make-before-break: the detour (shortest path ``avoid``-ing the
+        given links/switches) is fully reserved and committed under a
+        fresh generation id *while the old route stays booked*; only
+        then does the cutover swap the established record and release
+        the old generation's legs.  Any failure -- no detour exists, or
+        the detour's walk is refused or times out -- raises
+        :class:`~repro.exceptions.MigrationError` with the old route
+        untouched (the failed walk unwinds its own reservations), so
+        the migration is atomic.  Every step is journaled in
+        :attr:`migration_journal`.
+        """
+        established = self._established.get(name)
+        if established is None:
+            raise AdmissionError(f"no established connection {name!r}")
+        route = established.request.route
+        generation = established.generation + 1
+        with _ospans.span("admission.migrate", connection=name,
+                          generation=generation) as migrate_span:
+            try:
+                detour = shortest_path(
+                    self.network, route.source, route.destination,
+                    avoid=frozenset(avoid),
+                )
+            except RoutingError as exc:
+                migrate_span.tag(outcome="no-route")
+                self._count_migration("failed")
+                self.migration_journal.append(
+                    "failed", name, generation, detail=str(exc))
+                raise MigrationError(name, str(exc)) from exc
+            switch_id = f"{name}@g{generation}"
+            self.migration_journal.append(
+                "start", name, generation,
+                detail=" ".join(detour.link_names))
+            new_request = replace(established.request, route=detour)
+            try:
+                connection = self._establish(
+                    new_request, trace,
+                    switch_id=switch_id, generation=generation,
+                )
+            except AdmissionError as exc:
+                migrate_span.tag(outcome="refused")
+                self._count_migration("failed")
+                self.migration_journal.append(
+                    "failed", name, generation, detail=str(exc))
+                raise MigrationError(name, str(exc)) from exc
+            # _establish registered the new generation under the plain
+            # name: that swap was the cutover.
+            self.migration_journal.append("cutover", name, generation)
+            self._release_legs(established, trace)
+            self.migration_journal.append("released", name, generation)
+            self._count_migration(MIGRATED)
+            self.migration_journal.append("done", name, generation)
+            migrate_span.tag(outcome="migrated")
+        return connection
+
+    def handle_link_failure(self, link: str,
+                            policy: str = "migrate-or-drop",
+                            trace: Optional[SignalingTrace] = None,
+                            ) -> MigrationReport:
+        """Migrate every connection routed over a failed link.
+
+        ``policy`` decides the fate of victims no detour can carry:
+        ``"migrate-or-drop"`` tears them down (capacity released, the
+        guarantee honestly revoked), ``"migrate-or-keep"`` leaves them
+        booked on the dead route awaiting repair.  Victims are handled
+        in name order for determinism.
+        """
+        self.network.link(link)
+        victims = [
+            connection
+            for _name, connection in sorted(self._established.items())
+            if any(hop.in_link == link or hop.out_link == link
+                   for hop in connection.hops)
+        ]
+        return self._handle_failure(link, "link", frozenset((link,)),
+                                    victims, policy, trace)
+
+    def handle_switch_failure(self, switch: str,
+                              policy: str = "migrate-or-drop",
+                              trace: Optional[SignalingTrace] = None,
+                              ) -> MigrationReport:
+        """Migrate every connection routed through a failed switch."""
+        self.switch(switch)
+        victims = [
+            connection
+            for _name, connection in sorted(self._established.items())
+            if any(hop.switch == switch for hop in connection.hops)
+        ]
+        return self._handle_failure(switch, "switch", frozenset((switch,)),
+                                    victims, policy, trace)
+
+    def _handle_failure(self, trigger: str, kind: str,
+                        avoid: AbstractSet[str],
+                        victims: Sequence[EstablishedConnection],
+                        policy: str,
+                        trace: Optional[SignalingTrace],
+                        ) -> MigrationReport:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown migration policy {policy!r}; expected one of "
+                f"{POLICIES}"
+            )
+        migrated: List[str] = []
+        dropped: List[str] = []
+        kept: List[str] = []
+        failures: Dict[str, str] = {}
+        with _ospans.span("admission.handle_failure", trigger=trigger,
+                          kind=kind, policy=policy,
+                          victims=len(victims)) as failure_span:
+            for victim in victims:
+                try:
+                    self.migrate(victim.name, avoid, trace=trace)
+                except MigrationError as exc:
+                    failures[victim.name] = str(exc.reason)
+                    if policy == "migrate-or-drop":
+                        self.teardown(victim.name, trace=trace)
+                        self._count_migration(DROPPED)
+                        self.migration_journal.append(
+                            "dropped", victim.name,
+                            victim.generation + 1, detail=trigger)
+                        dropped.append(victim.name)
+                    else:
+                        self._count_migration(KEPT)
+                        self.migration_journal.append(
+                            "kept", victim.name,
+                            victim.generation + 1, detail=trigger)
+                        kept.append(victim.name)
+                else:
+                    migrated.append(victim.name)
+            failure_span.tag(migrated=len(migrated), dropped=len(dropped),
+                             kept=len(kept))
+        return MigrationReport(
+            trigger=trigger, kind=kind, policy=policy,
+            migrated=tuple(migrated), dropped=tuple(dropped),
+            kept=tuple(kept), failures=failures,
+            detection_latency=self.health.detection_latency(trigger),
+        )
 
     def setup_all(self, requests: Iterable[ConnectionRequest]) -> List[EstablishedConnection]:
         """Establish several connections; unwind all of them on failure.

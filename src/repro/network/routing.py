@@ -16,7 +16,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..exceptions import RoutingError
 from .topology import Link, Network
@@ -129,11 +137,18 @@ class Route:
         return f"Route({path})"
 
 
-def shortest_path(network: Network, src: str, dst: str) -> Route:
+def shortest_path(network: Network, src: str, dst: str,
+                  avoid: AbstractSet[str] = frozenset()) -> Route:
     """BFS shortest path (fewest links) from ``src`` to ``dst``.
 
     Terminals cannot forward: paths never traverse *through* an end
     system, though they may start or end at one.
+
+    ``avoid`` names links and/or intermediate nodes the path must not
+    use -- how the survivability layer routes around a failed link or a
+    crashed switch when migrating established connections.  Avoided
+    names are matched against both link and node names; ``src`` and
+    ``dst`` themselves cannot be avoided.
     """
     network.node(src)
     network.node(dst)
@@ -146,6 +161,8 @@ def shortest_path(network: Network, src: str, dst: str) -> Route:
         here = frontier.popleft()
         for link in network.out_links(here):
             nxt = link.dst
+            if link.name in avoid or (nxt != dst and nxt in avoid):
+                continue
             if nxt in seen:
                 continue
             parent[nxt] = link
@@ -161,7 +178,8 @@ def shortest_path(network: Network, src: str, dst: str) -> Route:
                 frontier.append(nxt)
             else:
                 seen.add(nxt)  # terminal: reachable but not traversable
-    raise RoutingError(f"no route from {src!r} to {dst!r}")
+    detour = f" avoiding {sorted(avoid)}" if avoid else ""
+    raise RoutingError(f"no route from {src!r} to {dst!r}{detour}")
 
 
 def ring_walk(network: Network, start_switch: str, hops: int,

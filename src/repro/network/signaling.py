@@ -27,9 +27,15 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Callable, List, Optional, Tuple, TypeVar, Union
 
 from ..core.bitstream import Number
-from ..exceptions import RetryExhausted, SignalingTimeout, SwitchUnavailable
+from ..exceptions import (
+    LinkDown,
+    RetryExhausted,
+    SignalingTimeout,
+    SwitchUnavailable,
+)
 from ..obs import events as _oevents
 from ..obs import metrics as _om
+from ..robustness.breaker import BreakerBoard
 from ..robustness.faults import (
     CRASH,
     DELAY,
@@ -38,6 +44,7 @@ from ..robustness.faults import (
     LINK_FAIL,
     FaultInjector,
 )
+from ..robustness.health import HealthMonitor
 from ..robustness.retry import ManualClock, RetryPolicy, retry_call
 
 __all__ = [
@@ -48,6 +55,7 @@ __all__ = [
     "CommitMessage",
     "AbortMessage",
     "BatchSetupMessage",
+    "ProbeMessage",
     "FaultEvent",
     "RetryEvent",
     "SignalingTrace",
@@ -136,6 +144,22 @@ class BatchSetupMessage:
 
 
 @dataclass(frozen=True)
+class ProbeMessage:
+    """One liveness probe of a hop (health monitor / breaker half-open).
+
+    ``ok`` reports whether the probe got a timely response; ``epoch``
+    carries the probed switch's crash epoch when it answered (``None``
+    on a lost probe), which is what the epoch-reconciliation check
+    compares before a breaker closes.
+    """
+
+    at_node: str
+    link: str
+    ok: bool
+    epoch: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class FaultEvent:
     """An injected fault striking one delivery attempt.
 
@@ -172,6 +196,7 @@ Message = Union[
     CommitMessage,
     AbortMessage,
     BatchSetupMessage,
+    ProbeMessage,
     FaultEvent,
     RetryEvent,
 ]
@@ -186,6 +211,7 @@ _EVENT_NAMES = {
     "CommitMessage": "commit",
     "AbortMessage": "abort",
     "BatchSetupMessage": "batch_setup",
+    "ProbeMessage": "probe",
     "FaultEvent": "fault",
     "RetryEvent": "retry",
 }
@@ -257,6 +283,17 @@ class SignalingChannel:
         :class:`FaultEvent`/:class:`RetryEvent` records.
     crash_switch:
         Callback crashing the named switch (a ``CRASH`` fault fires it).
+    breakers:
+        Optional :class:`~repro.robustness.breaker.BreakerBoard`.  When
+        given, every delivery first consults the hop's circuit breaker:
+        an *open* breaker fast-fails the delivery with
+        :class:`~repro.exceptions.LinkDown` -- zero timeouts, zero
+        retransmissions -- and final outcomes (success / retry
+        exhaustion) feed the breaker's state machine.
+    health:
+        Optional :class:`~repro.robustness.health.HealthMonitor` fed the
+        same final outcomes, for both the link (kind ``"link"``) and the
+        receiving node (kind ``"switch"``).
 
     The sender cannot tell a dropped message from a dead link or a
     crashed switch -- every such attempt just looks like silence, costs
@@ -272,7 +309,9 @@ class SignalingChannel:
                  rng: Optional[random.Random] = None,
                  hop_timeout: float = 8.0,
                  trace: Optional[SignalingTrace] = None,
-                 crash_switch: Optional[Callable[[str], None]] = None):
+                 crash_switch: Optional[Callable[[str], None]] = None,
+                 breakers: Optional[BreakerBoard] = None,
+                 health: Optional[HealthMonitor] = None):
         if hop_timeout <= 0:
             raise ValueError(f"hop_timeout must be positive, got {hop_timeout}")
         self.injector = injector
@@ -282,6 +321,8 @@ class SignalingChannel:
         self.hop_timeout = hop_timeout
         self.trace = trace
         self.crash_switch = crash_switch
+        self.breakers = breakers
+        self.health = health
         # Channels are per-walk and short-lived; binding the registry
         # once at construction is cheap and good enough.
         self._registry = _om.get_registry()
@@ -370,8 +411,21 @@ class SignalingChannel:
         because a REJECT *is* a response.  Raises
         :class:`~repro.exceptions.SignalingTimeout` once the retry
         budget is exhausted.
+
+        With a breaker board attached, an *open* breaker on this hop
+        fast-fails the delivery instead: :class:`LinkDown` is raised
+        immediately, no timeout is spent and nothing is retransmitted.
         """
         registry = self._registry
+        breaker = self.breakers.breaker(at_node, link) \
+            if self.breakers is not None else None
+        if breaker is not None and not breaker.allow():
+            if registry.enabled:
+                registry.counter("signaling_fast_fails_total",
+                                 phase=phase).inc()
+            self._record_fault(connection, at_node, phase, hop,
+                               "fast-fail", detail=link)
+            raise LinkDown(connection, at_node, link, phase)
 
         def on_retry(attempt: int, backoff: float,
                      _exc: BaseException) -> None:
@@ -398,9 +452,19 @@ class SignalingChannel:
             if registry.enabled:
                 registry.counter("signaling_timeouts_total",
                                  phase=phase).inc()
+            if breaker is not None:
+                breaker.record_failure()
+            if self.health is not None:
+                self.health.record_timeout(link, kind="link")
+                self.health.record_timeout(at_node, kind="switch")
             raise SignalingTimeout(
                 connection, at_node, phase, exhausted.attempts,
             ) from exhausted
+        if breaker is not None:
+            breaker.record_success()
+        if self.health is not None:
+            self.health.record_success(link, kind="link")
+            self.health.record_success(at_node, kind="switch")
         if registry.enabled:
             registry.counter("signaling_messages_total", phase=phase).inc()
             registry.histogram(

@@ -107,6 +107,26 @@ METRIC_HELP: Dict[str, str] = {
     "signaling_hop_rtt":
         "Simulated round-trip time of one successful delivery "
         "(includes backoff of earlier attempts).",
+    "signaling_fast_fails_total":
+        "Deliveries fast-failed by an open circuit breaker, by phase "
+        "(zero timeouts and zero retransmissions spent).",
+    "cac_breaker_state":
+        "Circuit breaker state per signaling hop "
+        "(0=closed, 1=half-open, 2=open).",
+    "cac_breaker_transitions_total":
+        "Circuit breaker state transitions, by entered state.",
+    "cac_breaker_fast_fails_total":
+        "Deliveries refused by an open breaker (fast-fail decisions).",
+    "cac_failure_detections_total":
+        "Targets the health monitor declared down, by kind "
+        "(link/switch).",
+    "cac_failure_detection_time":
+        "Gap between a link's ground-truth failure instant and the "
+        "health monitor declaring it down (simulated time).",
+    "cac_migrations_total":
+        "Live-migration outcomes: migrated (moved to a detour), failed "
+        "(one migration attempt refused), dropped/kept (policy fallback "
+        "applied to an unmigratable victim).",
     "journal_ops_total":
         "Entries appended to admission journals, by op.",
     "sim_events_processed":

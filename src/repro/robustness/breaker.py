@@ -1,0 +1,217 @@
+"""Per-hop circuit breakers over the signaling channel.
+
+A dead link or crashed switch makes every delivery over that hop cost a
+full retry budget -- timeouts, jittered backoff, retransmissions -- and
+a workload that keeps signaling into the hole generates exactly the
+retransmit storm the backoff machinery was meant to prevent.  The cure
+is the classic circuit breaker, one per ``(node, link)`` hop:
+
+.. code-block:: text
+
+              consecutive failures >= threshold
+    CLOSED ─────────────────────────────────────► OPEN
+      ▲                                             │
+      │ probe succeeds                              │ reset_timeout
+      │ (reconcile first!)                          ▼ elapsed
+      └──────────────────────────────────────── HALF-OPEN
+                        probe fails ──► back to OPEN
+
+* **closed** -- deliveries flow normally; failures are counted.
+* **open** -- every delivery *fast-fails* immediately
+  (:class:`~repro.exceptions.LinkDown`), costing zero timeouts and zero
+  retransmissions, until ``reset_timeout`` simulated time units have
+  passed.
+* **half-open** -- exactly one delivery (the probe) is let through.
+  Success closes the breaker -- after the owner's ``on_close`` hook has
+  run, which is where :class:`~repro.core.admission.NetworkCAC` does
+  its epoch check and ``recover_switch`` reconciliation, so a switch
+  that crashed and rebooted behind an open breaker is reconciled
+  *before* traffic trusts it again.  Failure reopens the breaker for
+  another full ``reset_timeout``.
+
+State is observable: the ``cac_breaker_state`` gauge exports
+0/1/2 = closed/half-open/open per hop, and
+``cac_breaker_fast_fails_total`` counts the deliveries the open state
+absorbed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs import metrics as _om
+from .retry import ManualClock
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "STATE_VALUES",
+           "CircuitBreaker", "BreakerBoard"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding of the breaker states.
+STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """One hop's breaker; see the module docstring for the state machine.
+
+    ``on_close(breaker)`` runs right before a successful probe closes
+    the breaker -- the reconciliation hook.  ``clock`` is any
+    ``now() -> float`` source (the CAC's simulated clock).
+    """
+
+    def __init__(self, node: str, link: str, clock,
+                 failure_threshold: int = 3,
+                 reset_timeout: float = 64.0,
+                 on_close: Optional[Callable[["CircuitBreaker"], None]]
+                 = None):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ValueError(
+                f"reset_timeout must be positive, got {reset_timeout}"
+            )
+        self.node = node
+        self.link = link
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.on_close = on_close
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        #: the switch epoch observed by the last successful delivery;
+        #: ``None`` until the owner stamps it (see BreakerBoard.probe)
+        self.known_epoch: Optional[int] = None
+        self._set_gauge()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def target(self) -> str:
+        """Stable label of this hop for metrics and reports."""
+        return f"{self.link}@{self.node}"
+
+    def _set_gauge(self) -> None:
+        registry = _om.get_registry()
+        if registry.enabled:
+            registry.gauge("cac_breaker_state",
+                           target=self.target).set(STATE_VALUES[self.state])
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        registry = _om.get_registry()
+        if registry.enabled:
+            registry.counter("cac_breaker_transitions_total",
+                             state=state).inc()
+        self._set_gauge()
+
+    # ------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a delivery be attempted right now?
+
+        ``False`` means fast-fail.  An open breaker whose
+        ``reset_timeout`` has elapsed flips to half-open and admits
+        this one delivery as the probe.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.opened_at is not None and \
+                    self.clock.now() - self.opened_at >= self.reset_timeout:
+                self._transition(HALF_OPEN)
+                return True
+            registry = _om.get_registry()
+            if registry.enabled:
+                registry.counter("cac_breaker_fast_fails_total").inc()
+            return False
+        return True  # HALF_OPEN: the probe (re-entrant calls included)
+
+    def record_success(self) -> None:
+        """A delivery over this hop got a timely response."""
+        self.consecutive_failures = 0
+        if self.state == CLOSED:
+            return
+        # A successful probe: reconcile, then close.
+        if self.on_close is not None:
+            self.on_close(self)
+        self._transition(CLOSED)
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        """A delivery over this hop exhausted its retry budget."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+                self.state == CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self._transition(OPEN)
+            self.opened_at = self.clock.now()
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.target!r}, state={self.state!r}, "
+            f"failures={self.consecutive_failures})"
+        )
+
+
+class BreakerBoard:
+    """All per-hop breakers of one :class:`NetworkCAC`, created lazily.
+
+    Channels are per-walk and short-lived; the board is the long-lived
+    owner, so breaker state (and therefore fast-fail behaviour)
+    persists across walks.  ``on_close(breaker)`` is forwarded to every
+    breaker -- the network CAC installs its epoch-reconciliation hook
+    there once, at construction.
+    """
+
+    def __init__(self, clock: Optional[ManualClock] = None,
+                 failure_threshold: int = 3,
+                 reset_timeout: float = 64.0,
+                 on_close: Optional[Callable[[CircuitBreaker], None]]
+                 = None):
+        self.clock = clock if clock is not None else ManualClock()
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.on_close = on_close
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+
+    def breaker(self, node: str, link: str) -> CircuitBreaker:
+        """The breaker guarding deliveries over ``link`` into ``node``."""
+        key = (node, link)
+        found = self._breakers.get(key)
+        if found is None:
+            found = CircuitBreaker(
+                node, link, self.clock,
+                failure_threshold=self.failure_threshold,
+                reset_timeout=self.reset_timeout,
+                on_close=self._close_hook,
+            )
+            self._breakers[key] = found
+        return found
+
+    def _close_hook(self, breaker: CircuitBreaker) -> None:
+        if self.on_close is not None:
+            self.on_close(breaker)
+
+    def breakers(self) -> List[CircuitBreaker]:
+        """Every breaker created so far, in deterministic order."""
+        return [self._breakers[key] for key in sorted(self._breakers)]
+
+    def open_hops(self) -> List[str]:
+        """Targets whose breaker is currently open, sorted."""
+        return sorted(
+            breaker.target for breaker in self._breakers.values()
+            if breaker.state == OPEN
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BreakerBoard(breakers={len(self._breakers)}, "
+            f"open={self.open_hops()})"
+        )

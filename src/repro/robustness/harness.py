@@ -38,11 +38,14 @@ from .faults import (
     FaultSpec,
     PHASES,
 )
+from .migration import POLICIES, no_double_booking
 from .retry import RetryPolicy
 
 __all__ = [
+    "LinkFailureEvent",
     "ScheduleReport",
     "random_fault_plan",
+    "random_link_failures",
     "run_schedule",
     "run_schedules",
     "committed_states_equal",
@@ -97,6 +100,56 @@ def random_fault_plan(rng: random.Random, max_hops: int,
     return FaultPlan(faults)
 
 
+@dataclass(frozen=True)
+class LinkFailureEvent:
+    """One mid-workload link failure the schedule injects.
+
+    The link fails after the ``after``-th setup attempt, the network
+    reacts with :meth:`NetworkCAC.handle_link_failure` under the drawn
+    ``policy``, and -- when ``restore`` is set -- the link is repaired
+    right after the migration pass, so later setups may route over it
+    again.
+    """
+
+    after: int
+    link: str
+    policy: str
+    restore: bool
+
+
+def random_link_failures(rng: random.Random, network: Network,
+                         num_requests: int,
+                         count: int) -> Tuple[LinkFailureEvent, ...]:
+    """Draw ``count`` seeded mid-workload link-failure events.
+
+    Fails switch-to-switch links when the topology has any (those are
+    the ones a detour can route around), otherwise any switch output
+    link, so star-shaped topologies still exercise the drop/keep
+    policies.
+    """
+    candidates = sorted(
+        link.name for link in network.links()
+        if network.node(link.src).is_switch
+        and network.node(link.dst).is_switch
+    )
+    if not candidates:
+        candidates = sorted(
+            link.name for link in network.links()
+            if network.node(link.src).is_switch
+        )
+    if not candidates:
+        return ()
+    return tuple(
+        LinkFailureEvent(
+            after=rng.randint(1, num_requests),
+            link=rng.choice(candidates),
+            policy=rng.choice(list(POLICIES)),
+            restore=rng.random() < 0.5,
+        )
+        for _ in range(count)
+    )
+
+
 @dataclass
 class ScheduleReport:
     """What one seeded schedule did and whether the invariants held."""
@@ -113,28 +166,45 @@ class ScheduleReport:
     #: Exact per-switch journal op sequences (see :data:`JournalDigest`);
     #: what the parallel-equivalence CI job compares against serial runs.
     journals: JournalDigest = field(default=())
+    #: Mid-workload link failures injected (empty without
+    #: ``link_failures``), and the per-victim outcomes they produced.
+    link_events: Tuple[LinkFailureEvent, ...] = ()
+    migrated: Tuple[str, ...] = ()
+    dropped: Tuple[str, ...] = ()
+    kept: Tuple[str, ...] = ()
+    #: Did every switch's committed legs match exactly the established
+    #: connections' current-generation legs after the schedule?
+    booking_safe: bool = True
 
     @property
     def ok(self) -> bool:
-        """Both acceptance properties held for this schedule."""
-        return self.consistent and self.equivalent
+        """All acceptance properties held for this schedule."""
+        return self.consistent and self.equivalent and self.booking_safe
 
     def __repr__(self) -> str:
         return (
             f"ScheduleReport(seed={self.seed}, faults={len(self.plan)}, "
             f"established={len(self.established)}/{len(self.attempted)}, "
-            f"recovered={list(self.recovered)}, ok={self.ok})"
+            f"recovered={list(self.recovered)}, "
+            f"migrated={len(self.migrated)}, ok={self.ok})"
         )
 
 
 def committed_states_equal(faulted: NetworkCAC, clean: NetworkCAC,
-                           tolerance: float = 1e-9) -> bool:
+                           tolerance: float = 1e-9,
+                           aliases: Optional[Dict[str, str]] = None) -> bool:
     """Is the post-fault network state the clean replay's state?
 
     Compares, per switch: the committed leg sets, the absence of
     leftover reservations, and every ``Sia`` aggregate; plus the
     established-connection sets and their end-to-end guarantees.
+
+    ``aliases`` maps faulted-side leg ids to the clean-side ids they
+    should be compared under: a migrated connection books its legs
+    under a versioned ``name@g<n>`` id, while the clean replay of its
+    post-migration route books under the plain name.
     """
+    aliases = aliases or {}
     if set(faulted.established) != set(clean.established):
         return False
     for name, connection in faulted.established.items():
@@ -142,7 +212,8 @@ def committed_states_equal(faulted: NetworkCAC, clean: NetworkCAC,
             return False
     for name, cac in faulted.switches().items():
         reference = clean.switch(name)
-        if set(cac.legs) != set(reference.legs):
+        faulted_ids = {aliases.get(leg, leg) for leg in cac.legs}
+        if faulted_ids != set(reference.legs):
             return False
         if cac.pending:
             return False
@@ -162,8 +233,9 @@ def run_schedule(seed: int,
                  retry_policy: Optional[RetryPolicy] = None,
                  hop_timeout: float = 8.0,
                  max_faults: int = 4,
-                 batched: bool = False) -> ScheduleReport:
-    """Run one seeded fault schedule and check both acceptance properties.
+                 batched: bool = False,
+                 link_failures: int = 0) -> ScheduleReport:
+    """Run one seeded fault schedule and check the acceptance properties.
 
     ``network_factory`` must build a fresh, identical topology on every
     call (it is invoked twice: once for the faulted run, once for the
@@ -176,6 +248,17 @@ def run_schedule(seed: int,
     batched pipeline falls back to the exact sequential walk, so every
     schedule must produce the identical report either way -- which is
     precisely what the property suite asserts.
+
+    ``link_failures`` additionally draws that many mid-workload
+    :class:`LinkFailureEvent`\\ s (after the fault plan, so schedules
+    with ``link_failures=0`` stay bit-identical to earlier releases):
+    each fails a link after its ``after``-th setup, runs the live
+    migration pass under the drawn policy, and optionally restores the
+    link.  The clean replay then re-establishes every survivor over its
+    *post-migration* route, and the report checks the
+    :func:`~repro.robustness.migration.no_double_booking` invariant on
+    top of the usual two.  In batched mode the events fire after the
+    whole batch (the batch is one atomic pipeline).
     """
     rng = random.Random(seed)
     network = network_factory()
@@ -187,6 +270,8 @@ def run_schedule(seed: int,
         rng, max_hops, [request.name for request in requests],
         max_faults=max_faults, hop_timeout=hop_timeout,
     )
+    events = random_link_failures(rng, network, len(requests),
+                                  link_failures) if link_failures else ()
     injector = FaultInjector(plan)
     policy = retry_policy or RetryPolicy(
         max_attempts=3, base_delay=0.5, max_delay=4.0,
@@ -197,18 +282,38 @@ def run_schedule(seed: int,
     )
     trace = SignalingTrace()
     errors: Dict[str, str] = {}
+    migrated: List[str] = []
+    dropped: List[str] = []
+    kept: List[str] = []
+
+    def fire_events(after: int) -> None:
+        for event in events:
+            if event.after != after:
+                continue
+            injector.fail_link(event.link)
+            report = faulted.handle_link_failure(
+                event.link, policy=event.policy, trace=trace)
+            migrated.extend(report.migrated)
+            dropped.extend(report.dropped)
+            kept.extend(report.kept)
+            if event.restore:
+                injector.restore_link(event.link)
+
     if batched:
         outcome = faulted.setup_many(requests, trace=trace)
         errors = {
             name: f"{type(refused).__name__}: {refused}"
             for name, refused in outcome.failures.items()
         }
+        for after in sorted({event.after for event in events}):
+            fire_events(after)
     else:
-        for request in requests:
+        for position, request in enumerate(requests, start=1):
             try:
                 faulted.setup(request, trace=trace)
             except AdmissionError as refused:
                 errors[request.name] = f"{type(refused).__name__}: {refused}"
+            fire_events(position)
 
     recovered = tuple(sorted(
         name for name, cac in faulted.switches().items() if cac.crashed
@@ -219,12 +324,22 @@ def run_schedule(seed: int,
     consistent = all(
         cac.verify_consistency() for cac in faulted.switches().values()
     )
+    booking_safe = no_double_booking(faulted)
 
+    # The clean replay re-runs every survivor's *current* request (a
+    # migrated connection's detour route), under its plain name; the
+    # alias map folds the faulted side's versioned leg ids back onto
+    # the plain names for the comparison.
     clean = NetworkCAC(network_factory())
     for request in requests:
-        if request.name in faulted.established:
-            clean.setup(request)
-    equivalent = committed_states_equal(faulted, clean)
+        survivor = faulted.established.get(request.name)
+        if survivor is not None:
+            clean.setup(survivor.request)
+    aliases = {
+        connection.leg_name: connection.name
+        for connection in faulted.established.values()
+    }
+    equivalent = committed_states_equal(faulted, clean, aliases=aliases)
 
     journals: JournalDigest = tuple(
         (name, tuple((entry.op, entry.connection_id)
@@ -243,6 +358,11 @@ def run_schedule(seed: int,
         equivalent=equivalent,
         trace=trace,
         journals=journals,
+        link_events=events,
+        migrated=tuple(migrated),
+        dropped=tuple(dropped),
+        kept=tuple(kept),
+        booking_safe=booking_safe,
     )
 
 
@@ -254,6 +374,7 @@ def run_schedules(seeds: Iterable[int],
                   hop_timeout: float = 8.0,
                   max_faults: int = 4,
                   batched: bool = False,
+                  link_failures: int = 0,
                   jobs: int = 1,
                   executor: Optional[ParallelExecutor] = None,
                   ) -> List[ScheduleReport]:
@@ -280,5 +401,6 @@ def run_schedules(seeds: Iterable[int],
         hop_timeout=hop_timeout,
         max_faults=max_faults,
         batched=batched,
+        link_failures=link_failures,
     )
     return parallel_map(task, list(seeds), jobs=jobs, executor=executor)

@@ -1,0 +1,202 @@
+"""Make-before-break migration of established connections.
+
+When a link dies or a switch crashes mid-service, the hard real-time
+guarantee of every connection routed over it is void.  The
+survivability layer (:meth:`NetworkCAC.handle_link_failure
+<repro.core.admission.NetworkCAC.handle_link_failure>` /
+:meth:`handle_switch_failure
+<repro.core.admission.NetworkCAC.handle_switch_failure>`) moves the
+victims to an alternate route *make-before-break*:
+
+1. compute a detour with :func:`~repro.network.routing.shortest_path`
+   ``avoid=``-ing the failed element;
+2. run the full two-phase reserve -> commit walk over the new route,
+   booked under a **fresh generation id** (``name@g<n>``) so the old
+   and new bookings coexist at any shared switches without colliding;
+3. *cutover*: swap the established record to the new generation;
+4. release the old generation's legs (best-effort over the signaling
+   channel -- a leg behind the dead link falls back to reservation
+   expiry, and a crashed switch reconciles during
+   :meth:`~repro.core.admission.NetworkCAC.recover_switch`).
+
+Step 2 failing rolls itself back (the setup walk unwinds its own
+reservations) and leaves the old route untouched -- the migration is
+atomic from the connection's point of view.  What happens to an
+unmigratable victim is the *policy*: ``migrate-or-drop`` tears it down
+(capacity released, guarantee honestly revoked), ``migrate-or-keep``
+leaves it booked on the dead route awaiting repair.
+
+Every step is journaled in the network-level :class:`MigrationJournal`
+-- the switch-level :class:`~repro.robustness.journal.AdmissionJournal`
+already records the reserve/commit/release ops themselves, so a crash
+mid-migration replays bit-identically; the migration journal adds the
+*intent* (which connection moved where and why) for audit and for the
+post-crash reconciliation in ``recover_switch``.
+
+:func:`no_double_booking` is the safety invariant the property harness
+checks after every migration schedule: each switch's committed legs are
+exactly the current-generation legs of the established connections
+crossing it -- no orphaned old-generation bookings, no connection
+booked twice at one switch, no lingering reservations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from ..obs import events as _oevents
+from ..obs import metrics as _om
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.admission import NetworkCAC
+
+__all__ = [
+    "MIGRATED",
+    "DROPPED",
+    "KEPT",
+    "POLICIES",
+    "MIGRATION_OPS",
+    "MigrationRecord",
+    "MigrationJournal",
+    "MigrationReport",
+    "no_double_booking",
+]
+
+#: Per-victim outcomes of a failure-handling pass.
+MIGRATED = "migrated"
+DROPPED = "dropped"
+KEPT = "kept"
+
+#: What to do with a victim no alternate route can carry.
+POLICIES = ("migrate-or-drop", "migrate-or-keep")
+
+#: Legal migration-journal operations, in the order one migration moves
+#: through them (``failed``/``dropped``/``kept`` terminate a migration
+#: that could not complete).
+MIGRATION_OPS = ("start", "cutover", "released", "done",
+                 "failed", "dropped", "kept")
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One durable migration-journal entry.
+
+    ``generation`` is the generation being migrated *to*; ``detail``
+    carries the new route (``start``), the refusal reason (``failed``)
+    or the triggering element (``dropped``/``kept``).
+    """
+
+    sequence: int
+    op: str
+    connection: str
+    generation: int
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in MIGRATION_OPS:
+            raise ValueError(
+                f"unknown migration op {self.op!r}; expected one of "
+                f"{MIGRATION_OPS}"
+            )
+
+
+class MigrationJournal:
+    """Append-only network-level record of every migration step."""
+
+    def __init__(self) -> None:
+        self._entries: List[MigrationRecord] = []
+
+    def append(self, op: str, connection: str, generation: int,
+               detail: str = "") -> MigrationRecord:
+        """Write one entry; returns it with its sequence number."""
+        record = MigrationRecord(len(self._entries), op, connection,
+                                 generation, detail)
+        self._entries.append(record)
+        bus = _oevents.get_bus()
+        if bus.has_subscribers:
+            bus.emit("migration", op, connection=connection,
+                     generation=generation, detail=detail,
+                     sequence=record.sequence)
+        return record
+
+    @property
+    def entries(self) -> Tuple[MigrationRecord, ...]:
+        """Immutable snapshot of the whole log."""
+        return tuple(self._entries)
+
+    def for_connection(self, name: str) -> Tuple[MigrationRecord, ...]:
+        """Every entry about one connection, in order."""
+        return tuple(r for r in self._entries if r.connection == name)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[MigrationRecord]:
+        return iter(tuple(self._entries))
+
+    def __repr__(self) -> str:
+        return f"MigrationJournal(entries={len(self._entries)})"
+
+
+@dataclass
+class MigrationReport:
+    """What one failure-handling pass did to the affected connections.
+
+    ``failures`` maps each victim that could *not* be migrated to the
+    refusal reason (those connections appear in ``dropped`` or ``kept``
+    per the policy).  ``detection_latency`` is the health monitor's
+    failure-to-detection gap for the triggering element, when the
+    ground-truth failure instant is known (``None`` otherwise).
+    """
+
+    trigger: str
+    kind: str                       # "link" | "switch"
+    policy: str
+    migrated: Tuple[str, ...] = ()
+    dropped: Tuple[str, ...] = ()
+    kept: Tuple[str, ...] = ()
+    failures: Dict[str, str] = field(default_factory=dict)
+    detection_latency: Optional[float] = None
+
+    @property
+    def victims(self) -> Tuple[str, ...]:
+        """Every affected connection, in handling order."""
+        return self.migrated + self.dropped + self.kept
+
+    @property
+    def survived(self) -> int:
+        """Connections still carrying traffic after the pass."""
+        return len(self.migrated)
+
+    def __repr__(self) -> str:
+        return (
+            f"MigrationReport({self.kind} {self.trigger!r}, "
+            f"policy={self.policy!r}, migrated={len(self.migrated)}, "
+            f"dropped={len(self.dropped)}, kept={len(self.kept)})"
+        )
+
+
+def no_double_booking(cac: "NetworkCAC") -> bool:
+    """The post-migration safety invariant.
+
+    Every switch's committed legs must be *exactly* the
+    current-generation legs of the established connections whose route
+    crosses it -- an old generation still booked after its cutover, a
+    connection booked at a switch its current route does not visit, or
+    any leftover reservation all fail the check.  Capacity can never be
+    double-booked (old + new generation both held) nor leaked (orphan
+    legs after a drop) when this holds.
+    """
+    expected: Dict[str, set] = {name: set() for name in cac.switches()}
+    for connection in cac.established.values():
+        for hop in connection.hops:
+            expected[hop.switch].add(connection.leg_name)
+    for name, switch in cac.switches().items():
+        if switch.crashed:
+            return False
+        if switch.pending:
+            return False
+        if set(switch.legs) != expected[name]:
+            return False
+    return True

@@ -33,9 +33,11 @@ from .evaluation import (
     vbr_workload,
 )
 from .failover import (
+    MigrationStudy,
     evacuate_switch,
     failover_capacity,
     failover_capacity_curve,
+    failover_migration_study,
     wrapped_analysis,
     wrapped_ring_size,
     wrapped_workload,
@@ -88,6 +90,8 @@ __all__ = [
     "evacuate_switch",
     "failover_capacity",
     "failover_capacity_curve",
+    "MigrationStudy",
+    "failover_migration_study",
     "plant_mix_workload",
     "RingSimulation",
     "BoundComparison",

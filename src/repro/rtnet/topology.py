@@ -31,7 +31,8 @@ def terminal_name(node_index: int, slot: int) -> str:
 
 def build_rtnet(ring_nodes: int = RING_NODES,
                 terminals_per_node: int = 1,
-                bounds: Optional[Mapping[int, float]] = None) -> Network:
+                bounds: Optional[Mapping[int, float]] = None,
+                dual_ring: bool = False) -> Network:
     """Build an RTnet: a ring of switches with star-attached terminals.
 
     Parameters
@@ -44,6 +45,17 @@ def build_rtnet(ring_nodes: int = RING_NODES,
         Advertised per-priority delay bounds of every ring-node output
         port; defaults to the single cyclic priority with the 32-cell
         queue (``{0: 32}``).
+    dual_ring:
+        Also build the secondary (counter-rotating) ring links.  The
+        healthy-ring analyses keep the default ``False`` -- the
+        secondary ring carries no traffic in normal operation -- but the
+        survivability study needs the reverse direction as detour
+        capacity for live migration.  Note a dual-ring network has two
+        switch-to-switch out-links per ring node, so
+        :func:`~repro.network.routing.ring_walk` (and therefore
+        :func:`broadcast_route`) cannot be used on it; route
+        point-to-point with
+        :func:`~repro.network.routing.shortest_path` instead.
     """
     if ring_nodes < 2:
         raise TopologyError("an RTnet ring needs at least two ring nodes")
@@ -58,6 +70,11 @@ def build_rtnet(ring_nodes: int = RING_NODES,
     for index in range(ring_nodes):
         nxt = (index + 1) % ring_nodes
         net.add_link(ring_node(index), ring_node(nxt), bounds=port_bounds)
+    if dual_ring:
+        for index in range(ring_nodes):
+            nxt = (index + 1) % ring_nodes
+            net.add_link(ring_node(nxt), ring_node(index),
+                         bounds=port_bounds)
     for index in range(ring_nodes):
         for slot in range(terminals_per_node):
             term = terminal_name(index, slot)

@@ -116,6 +116,40 @@ class TestJobsFlag:
         assert fanned == serial
 
 
+class TestChaosCommand:
+    def test_default_run_reports_the_migration(self, capsys):
+        out = run(capsys, "chaos")
+        assert "ring0->ring1" in out
+        assert "migrated" in out
+        assert "breaker reclosed" in out
+        assert "booking safe" in out
+
+    def test_named_link_and_keep_policy(self, capsys):
+        out = run(capsys, "chaos", "--ring-nodes", "4",
+                  "--link", "ring2->ring3", "--policy", "migrate-or-keep")
+        assert "ring2->ring3" in out
+        assert "migrate-or-keep" in out
+
+    def test_obs_flag_dumps_survivability_counters(self, capsys):
+        out = run(capsys, "chaos", "--ring-nodes", "4", "--obs")
+        assert "cac_migrations_total" in out
+        assert "cac_failure_detections_total" in out
+
+    def test_csv_output(self, capsys):
+        out = run(capsys, "--csv", "chaos", "--ring-nodes", "4")
+        assert "metric,value" in out
+        assert "detection latency" in out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--policy", "pray"])
+
+    def test_observability_is_restored_after_the_run(self, capsys):
+        from repro import obs
+        run(capsys, "chaos", "--ring-nodes", "4", "--obs")
+        assert not obs.enabled()
+
+
 class TestObsCommand:
     def test_table_output(self, capsys):
         out = run(capsys, "obs")

@@ -1,0 +1,348 @@
+"""Make-before-break migration: cutover, policies, journal, atomicity."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.admission import NetworkCAC
+from repro.core.traffic import cbr
+from repro.exceptions import AdmissionError, MigrationError
+from repro.network.connection import ConnectionRequest
+from repro.network.routing import shortest_path
+from repro.network.topology import Network
+from repro.robustness.faults import FaultInjector, FaultPlan
+from repro.robustness.migration import (
+    MIGRATION_OPS,
+    MigrationJournal,
+    MigrationRecord,
+    no_double_booking,
+)
+from repro.rtnet.failover import evacuate_switch, failover_migration_study
+
+
+def diamond_network(bounds=None):
+    """t0 - s0 - {s1 | s2} - s3 - t1: two disjoint middle paths."""
+    net = Network()
+    for name in ("s0", "s1", "s2", "s3"):
+        net.add_switch(name)
+    port_bounds = bounds or {0: 64}
+    for src, dst in [("s0", "s1"), ("s1", "s3"),
+                     ("s0", "s2"), ("s2", "s3")]:
+        net.add_link(src, dst, bounds=port_bounds)
+    net.add_terminal("t0")
+    net.add_link("t0", "s0")
+    net.add_link("s0", "t0", bounds=port_bounds)
+    net.add_terminal("t1")
+    net.add_link("t1", "s3")
+    net.add_link("s3", "t1", bounds=port_bounds)
+    return net
+
+
+def diamond_cac(**kwargs):
+    net = diamond_network()
+    injector = FaultInjector(FaultPlan([]))
+    cac = NetworkCAC(net, fault_injector=injector, **kwargs)
+    return net, injector, cac
+
+
+def upper_path_request(net, name="vc0", rate=F(1, 10)):
+    """Pinned over the s0->s1->s3 branch."""
+    route = shortest_path(net, "t0", "t1", avoid=frozenset({"s2"}))
+    return ConnectionRequest(name, cbr(rate), route)
+
+
+class TestMigrate:
+    def test_migrates_to_the_detour_with_a_new_generation(self):
+        net, _injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        moved = cac.migrate("vc0", avoid=frozenset({"s0->s1"}))
+
+        assert moved.name == "vc0"
+        assert moved.generation == 1
+        assert moved.leg_name == "vc0@g1"
+        links = [hop.in_link for hop in moved.hops]
+        assert "s0->s1" not in links
+        assert "s0->s2" in links
+        # Old legs are gone, the new generation is booked everywhere.
+        assert sorted(cac.switch("s1").legs) == []
+        assert sorted(cac.switch("s2").legs) == ["vc0@g1"]
+        assert sorted(cac.switch("s0").legs) == ["vc0@g1"]
+        assert no_double_booking(cac)
+
+    def test_repeated_migration_bumps_the_generation(self):
+        net, _injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        cac.migrate("vc0", avoid=frozenset({"s0->s1"}))
+        back = cac.migrate("vc0", avoid=frozenset({"s0->s2"}))
+        assert back.generation == 2
+        assert back.leg_name == "vc0@g2"
+        assert sorted(cac.switch("s1").legs) == ["vc0@g2"]
+        assert no_double_booking(cac)
+
+    def test_migrated_connection_tears_down_cleanly(self):
+        net, _injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        cac.migrate("vc0", avoid=frozenset({"s0->s1"}))
+        cac.teardown("vc0")
+        assert cac.established == {}
+        for name in ("s0", "s1", "s2", "s3"):
+            assert cac.switch(name).legs == {}
+
+    def test_no_route_raises_and_leaves_old_route_untouched(self):
+        net, _injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        before = dict(cac.switch("s1").legs)
+        with pytest.raises(MigrationError) as excinfo:
+            cac.migrate("vc0", avoid=frozenset({"s0->s1", "s0->s2"}))
+        assert "vc0" in str(excinfo.value)
+        assert excinfo.value.connection == "vc0"
+        assert cac.established["vc0"].generation == 0
+        assert dict(cac.switch("s1").legs) == before
+        assert no_double_booking(cac)
+
+    def test_refused_detour_is_atomic(self):
+        net, _injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net, rate=F(1, 10)))
+        # Saturate the lower branch so the detour's admission refuses.
+        blockers = [
+            ConnectionRequest(
+                f"block{index}", cbr(F(1, 4)),
+                shortest_path(net, "t0", "t1",
+                              avoid=frozenset({"s1"})))
+            for index in range(3)
+        ]
+        for request in blockers:
+            try:
+                cac.setup(request)
+            except AdmissionError:
+                break
+        with pytest.raises(MigrationError):
+            cac.migrate("vc0", avoid=frozenset({"s0->s1"}))
+        # Old route intact, no half-reserved detour legs anywhere.
+        assert cac.established["vc0"].generation == 0
+        assert "vc0" in cac.switch("s1").legs
+        assert not cac.switch("s2").pending
+        assert no_double_booking(cac)
+
+    def test_unknown_connection_refused(self):
+        _net, _injector, cac = diamond_cac()
+        with pytest.raises(AdmissionError):
+            cac.migrate("ghost", avoid=frozenset())
+
+
+class TestFailureHandling:
+    def test_link_failure_migrates_the_victims(self):
+        net, injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        bystander = ConnectionRequest(
+            "vc1", cbr(F(1, 12)),
+            shortest_path(net, "t0", "t1", avoid=frozenset({"s1"})))
+        cac.setup(bystander)
+
+        injector.fail_link("s0->s1")
+        report = cac.handle_link_failure("s0->s1")
+        assert report.migrated == ("vc0",)
+        assert report.dropped == ()
+        assert report.kept == ()
+        assert report.trigger == "s0->s1"
+        assert report.kind == "link"
+        assert report.survived == 1
+        assert report.victims == ("vc0",)
+        # The bystander on the lower path was not touched.
+        assert cac.established["vc1"].generation == 0
+        assert no_double_booking(cac)
+
+    def test_switch_failure_migrates_around_the_switch(self):
+        net, _injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        report = cac.handle_switch_failure("s1")
+        assert report.migrated == ("vc0",)
+        assert report.kind == "switch"
+        assert all(hop.switch != "s1"
+                   for hop in cac.established["vc0"].hops)
+        assert no_double_booking(cac)
+
+    def test_drop_policy_releases_unmigratable_victims(self):
+        net, injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        injector.fail_link("s0->s1")
+        injector.fail_link("s0->s2")
+        report = cac.handle_link_failure("s0->s1",
+                                         policy="migrate-or-drop")
+        assert report.dropped == ("vc0",)
+        assert "vc0" in report.failures
+        assert cac.established == {}
+        # Every reachable switch released its leg; s1 sits behind the
+        # dead link but was never crashed, so the release walked to it.
+        for name in ("s0", "s2", "s3"):
+            assert cac.switch(name).legs == {}
+
+    def test_keep_policy_leaves_victims_booked(self):
+        net, injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        injector.fail_link("s0->s1")
+        injector.fail_link("s0->s2")
+        report = cac.handle_link_failure("s0->s1",
+                                         policy="migrate-or-keep")
+        assert report.kept == ("vc0",)
+        assert cac.established["vc0"].generation == 0
+        assert "vc0" in cac.switch("s1").legs
+        assert no_double_booking(cac)
+
+    def test_restored_link_carries_traffic_again(self):
+        net, injector, cac = diamond_cac()
+        injector.fail_link("s0->s1")
+        injector.restore_link("s0->s1")
+        cac.setup(upper_path_request(net))
+        assert "vc0" in cac.established
+
+    def test_unknown_policy_refused(self):
+        net, _injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        with pytest.raises(ValueError):
+            cac.handle_link_failure("s0->s1", policy="pray")
+
+    def test_migration_counters(self, obs_enabled):
+        registry, _tracer = obs_enabled
+        net, injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        cac.handle_link_failure("s0->s1")
+        snapshot = registry.snapshot()
+        assert snapshot["cac_migrations_total"]["outcome=migrated"] == 1
+
+
+class TestMigrationJournal:
+    def test_successful_migration_journals_all_steps(self):
+        net, _injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        cac.migrate("vc0", avoid=frozenset({"s0->s1"}))
+        ops = [record.op
+               for record in cac.migration_journal.for_connection("vc0")]
+        assert ops == ["start", "cutover", "released", "done"]
+        start = cac.migration_journal.entries[0]
+        assert start.generation == 1
+        assert "s0->s2" in start.detail
+
+    def test_failed_migration_journals_the_refusal(self):
+        net, _injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        with pytest.raises(MigrationError):
+            cac.migrate("vc0", avoid=frozenset({"s0->s1", "s0->s2"}))
+        ops = [record.op
+               for record in cac.migration_journal.for_connection("vc0")]
+        assert ops[-1] == "failed"
+
+    def test_drop_and_keep_are_journaled(self):
+        net, injector, cac = diamond_cac()
+        cac.setup(upper_path_request(net))
+        injector.fail_link("s0->s1")
+        injector.fail_link("s0->s2")
+        cac.handle_link_failure("s0->s1", policy="migrate-or-drop")
+        ops = [record.op
+               for record in cac.migration_journal.for_connection("vc0")]
+        assert ops[-1] == "dropped"
+
+    def test_journal_is_append_only_and_sequenced(self):
+        journal = MigrationJournal()
+        journal.append("start", "vc0", 1, "detour")
+        journal.append("done", "vc0", 1)
+        assert [r.sequence for r in journal] == [0, 1]
+        assert len(journal) == 2
+        assert journal.entries == journal.for_connection("vc0")
+
+    def test_unknown_op_refused(self):
+        with pytest.raises(ValueError):
+            MigrationRecord(0, "teleport", "vc0", 1)
+        assert "start" in MIGRATION_OPS
+
+
+class TestFaultInjectorRestore:
+    def test_restore_is_the_inverse_of_fail(self):
+        injector = FaultInjector(FaultPlan([]))
+        injector.fail_link("a->b")
+        assert injector.link_down("a->b")
+        assert injector.failed_links == {"a->b"}
+        injector.restore_link("a->b")
+        assert not injector.link_down("a->b")
+        assert injector.failed_links == set()
+
+    def test_listeners_see_both_transitions(self):
+        injector = FaultInjector(FaultPlan([]))
+        seen = []
+        injector.add_link_listener(
+            lambda link, up: seen.append((link, up)))
+        injector.fail_link("a->b")
+        injector.fail_link("a->b")     # idempotent: no second event
+        injector.restore_link("a->b")
+        injector.restore_link("a->b")  # idempotent too
+        assert seen == [("a->b", False), ("a->b", True)]
+
+
+class TestEvacuationUnderConcurrentFaults:
+    """``evacuate_switch`` composes with live fault schedules."""
+
+    def build(self):
+        net = diamond_network()
+        injector = FaultInjector(FaultPlan([]))
+        cac = NetworkCAC(net, fault_injector=injector)
+        cac.setup(upper_path_request(net, "vc0"))
+        cac.setup(ConnectionRequest(
+            "vc1", cbr(F(1, 12)),
+            shortest_path(net, "t0", "t1", avoid=frozenset({"s1"}))))
+        return net, injector, cac
+
+    def test_evacuation_while_a_link_is_down(self):
+        _net, injector, cac = self.build()
+        # A concurrent link failure on the survivor's path must not
+        # stop the evacuation of the crashed switch.
+        injector.fail_link("s2->s3")
+        affected = evacuate_switch(cac, "s1")
+        assert [request.name for request in affected] == ["vc0"]
+        assert "vc0" not in cac.established
+        cac.recover_switch("s1")
+        assert cac.switch("s1").legs == {}
+        assert cac.switch("s1").verify_consistency()
+
+    def test_evacuation_then_migration_of_survivors(self):
+        _net, injector, cac = self.build()
+        evacuate_switch(cac, "s1")
+        cac.recover_switch("s1")
+        # Now the other branch dies: the survivor migrates through the
+        # just-recovered switch.
+        injector.fail_link("s0->s2")
+        report = cac.handle_link_failure("s0->s2")
+        assert report.migrated == ("vc1",)
+        assert any(hop.switch == "s1"
+                   for hop in cac.established["vc1"].hops)
+        assert no_double_booking(cac)
+
+    def test_evacuated_requests_readmit_after_recovery(self):
+        _net, injector, cac = self.build()
+        affected = evacuate_switch(cac, "s1")
+        cac.recover_switch("s1")
+        for request in affected:
+            cac.setup(request)
+        assert "vc0" in cac.established
+        assert no_double_booking(cac)
+
+
+class TestMigrationStudy:
+    def test_study_migrates_and_recloses(self):
+        study = failover_migration_study(ring_nodes=6, sets_per_node=1)
+        assert study.established == 18
+        assert study.refused == 0
+        # Every connection crossing the dead link survived by detour.
+        assert len(study.migrated) == 9
+        assert study.dropped == ()
+        assert study.probes_to_detect == 3
+        assert study.detection_latency is not None
+        assert study.open_hops == ("ring0->ring1@ring1",)
+        assert study.breaker_reclosed
+        assert study.booking_safe
+
+    def test_study_respects_the_keep_policy(self):
+        study = failover_migration_study(ring_nodes=4,
+                                         policy="migrate-or-keep")
+        assert study.policy == "migrate-or-keep"
+        assert study.dropped == ()
+        assert study.booking_safe
