@@ -105,8 +105,11 @@ def pytest_sessionfinish(session, exitstatus):
     parallel_module = sys.modules.get("test_bench_parallel")
     parallel_results = dict(getattr(parallel_module, "RESULTS", {}) or {}) \
         if parallel_module else {}
-    if not core_ran and not parallel_results:
-        return  # neither bench family ran; keep the last artifact
+    churn_module = sys.modules.get("test_bench_churn")
+    churn_results = dict(getattr(churn_module, "RESULTS", {}) or {}) \
+        if churn_module else {}
+    if not core_ran and not parallel_results and not churn_results:
+        return  # no bench family ran; keep the last artifact
     # Partial runs (only core-ops, or only the parallel benches) merge
     # into the existing artifact instead of clobbering the other half.
     artifact = {}
@@ -143,6 +146,10 @@ def pytest_sessionfinish(session, exitstatus):
         # serial vs fanned wall-clock per scenario, plus the determinism
         # verdict (see test_bench_parallel).
         artifact["parallel"] = dict(sorted(parallel_results.items()))
+    if churn_results:
+        # dynamic-traffic throughput and the first-path vs k-alternate
+        # blocking comparison (see test_bench_churn).
+        artifact["churn"] = dict(sorted(churn_results.items()))
     _ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
 
 

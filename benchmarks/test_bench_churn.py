@@ -1,0 +1,68 @@
+"""Churn throughput and the policy blocking comparison.
+
+Two numbers go into ``BENCH_core_ops.json`` under ``"churn"``:
+
+* **events/sec** of the churn engine driving live two-phase setups and
+  teardowns through the dual-ring CAC -- the dynamic-traffic analogue
+  of the core-ops microbenches;
+* the **policy comparison** at a fixed saturating offered load:
+  first-path vs k-alternate blocking over the *same* seeded arrival
+  sequence, asserting the crankback policy strictly lowers blocking
+  (the PR's acceptance case, recorded with its ledger digests).
+"""
+
+import time
+
+from repro.workload import ChurnScenario, run_scenario
+
+#: Filled by the benches, dumped into the artifact by the conftest hook.
+RESULTS = {}
+
+SCENARIO = ChurnScenario(
+    topology="dual-ring", nodes=6, bound=48.0, rate=0.15,
+    offered_load=4.0, events=800, seed=11, k=2,
+)
+
+
+def test_bench_churn_events_per_sec(once):
+    start = time.perf_counter()
+    report = once(lambda: run_scenario(SCENARIO))
+    elapsed = time.perf_counter() - start
+    RESULTS["events_per_sec"] = {
+        "events": SCENARIO.events,
+        "wall_s": round(elapsed, 4),
+        "events_per_sec": round(SCENARIO.events / elapsed, 1),
+        "arrivals": report.arrivals,
+        "blocking": round(report.blocking, 4),
+    }
+    assert report.arrivals > 0
+
+
+def test_bench_churn_policy_comparison(once):
+    from dataclasses import replace
+
+    def compare():
+        return {
+            policy: run_scenario(replace(SCENARIO, policy=policy))
+            for policy in ("first-path", "k-alternate")
+        }
+
+    reports = once(compare)
+    first = reports["first-path"]
+    alternate = reports["k-alternate"]
+    RESULTS["policy_comparison"] = {
+        "offered_load": SCENARIO.offered_load,
+        "events": SCENARIO.events,
+        "seed": SCENARIO.seed,
+        "first_path_blocking": round(first.blocking, 4),
+        "k_alternate_blocking": round(alternate.blocking, 4),
+        "blocking_reduction": round(first.blocking - alternate.blocking, 4),
+        "ledger_digests": {
+            "first-path": first.ledger_digest,
+            "k-alternate": alternate.ledger_digest,
+        },
+    }
+    assert alternate.blocking < first.blocking, (
+        f"k-alternate ({alternate.blocking}) must block strictly less "
+        f"than first-path ({first.blocking})"
+    )

@@ -13,9 +13,15 @@ Installed as ``repro-eval`` (or run as ``python -m repro.cli``):
    repro-eval failover --terminals 1 16
    repro-eval chaos --link ring0->ring1 --policy migrate-or-drop
    repro-eval obs --prom           # instrumented plant-mix run, metrics dump
+   repro-eval churn --loads 0.5 2 4 --policy k-alternate --seed 7
    repro-eval --csv fig10          # machine-readable output
    repro-eval --jobs 4 fig11       # fan scenarios across 4 worker processes
    repro-eval --jobs 0 fig13       # ... or every available core
+   repro-eval --version
+
+Randomized subcommands (``churn``, ``chaos``) take ``--seed`` (default
+0) and are bit-identically reproducible for a given seed; everything
+else is closed-form analysis and draws no randomness at all.
 
 Each subcommand prints the same rows the corresponding paper artifact
 reports (see EXPERIMENTS.md for the paper-vs-measured record).
@@ -27,6 +33,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from . import __version__
 from .analysis.report import render_table, to_csv
 from .rtnet import (
     TABLE_1,
@@ -38,6 +45,7 @@ from .rtnet import (
     symmetric_delay_curve,
 )
 from .rtnet.evaluation import vbr_capacity_curve
+from .workload.policies import POLICY_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -65,6 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "Admission Control for Hard Real-Time Communication "
                     "in ATM Networks' (ICDCS 1997).",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     parser.add_argument("--csv", action="store_true",
                         help="emit CSV instead of an aligned table")
     parser.add_argument("--jobs", type=_jobs_argument, default=1,
@@ -122,6 +132,46 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--obs", action="store_true",
                        help="run instrumented and dump the "
                             "survivability counters")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for the CAC's retry-jitter RNG "
+                            "(default 0; equal seeds reproduce the "
+                            "study bit for bit)")
+
+    churn = sub.add_parser(
+        "churn", help="seeded dynamic traffic: blocking vs offered load")
+    churn.add_argument("--loads", type=float, nargs="+",
+                       default=[0.5, 1.0, 2.0, 3.0, 4.0],
+                       metavar="L",
+                       help="offered-load points (normalized bandwidth "
+                            "demand) of the blocking curve")
+    churn.add_argument("--topology", choices=["star", "dual-ring"],
+                       default="dual-ring")
+    churn.add_argument("--nodes", type=int, default=6,
+                       help="terminals (star) or ring nodes (dual-ring)")
+    churn.add_argument("--events", type=int, default=2000,
+                       help="hard churn-event budget per run")
+    churn.add_argument("--policy", choices=list(POLICY_NAMES),
+                       default="first-path",
+                       help="route-selection policy for every setup")
+    churn.add_argument("--k", type=int, default=2,
+                       help="candidate routes for the alternate-path "
+                            "policies")
+    churn.add_argument("--rate", type=float, default=0.15,
+                       help="per-connection CBR cell rate (normalized)")
+    churn.add_argument("--bound", type=float, default=48.0,
+                       help="advertised per-link delay bound (cell times)")
+    churn.add_argument("--holding", type=float, default=400.0,
+                       help="mean exponential holding time (cell times)")
+    churn.add_argument("--replications", type=int, default=1,
+                       help="independent seeded replications per load "
+                            "point (seed, seed+1, ...)")
+    churn.add_argument("--seed", type=int, default=0,
+                       help="base seed for arrivals/holding times "
+                            "(default 0; equal seeds reproduce the "
+                            "curve bit for bit)")
+    churn.add_argument("--json", action="store_true",
+                       help="emit the curve as a JSON document instead "
+                            "of a table (the CI artifact format)")
 
     obs_cmd = sub.add_parser(
         "obs", help="run the Table 1 plant mix instrumented; dump metrics")
@@ -250,7 +300,7 @@ def _run_chaos(args) -> None:
     def study():
         return failover_migration_study(
             ring_nodes=args.ring_nodes, sets_per_node=args.sets_per_node,
-            link=args.link, policy=args.policy,
+            link=args.link, policy=args.policy, seed=args.seed,
         )
 
     if args.obs:
@@ -322,6 +372,49 @@ def _run_obs(args) -> None:
         obs.disable()
 
 
+def _run_churn(args) -> None:
+    import json
+
+    from .workload.churn import ChurnScenario, blocking_curve
+
+    scenario = ChurnScenario(
+        topology=args.topology, nodes=args.nodes, bound=args.bound,
+        rate=args.rate, mean_holding=args.holding, events=args.events,
+        seed=args.seed, policy=args.policy, k=args.k,
+    )
+    points = blocking_curve(args.loads, scenario,
+                            replications=args.replications,
+                            jobs=args.jobs)
+    if args.json:
+        print(json.dumps({
+            "topology": args.topology,
+            "nodes": args.nodes,
+            "policy": args.policy,
+            "k": args.k,
+            "events": args.events,
+            "seed": args.seed,
+            "replications": args.replications,
+            "points": [
+                {
+                    "offered_load": point.offered_load,
+                    "arrivals": point.arrivals,
+                    "blocked": point.blocked,
+                    "blocking": point.blocking,
+                    "ci_half_width": point.ci_half_width,
+                    "carried_erlangs": point.carried_erlangs,
+                    "digests": list(point.digests),
+                }
+                for point in points
+            ],
+        }, indent=2))
+        return
+    rows = [point.as_row() for point in points]
+    _emit(args, ["offered_load", "arrivals", "blocked", "blocking",
+                 "ci_95", "carried_erlangs"], rows,
+          f"Churn: blocking vs offered load "
+          f"({args.policy}, {args.topology}, seed {args.seed})")
+
+
 _RUNNERS = {
     "table1": _run_table1,
     "fig10": _run_fig10,
@@ -332,6 +425,7 @@ _RUNNERS = {
     "failover": _run_failover,
     "chaos": _run_chaos,
     "obs": _run_obs,
+    "churn": _run_churn,
 }
 
 

@@ -1,7 +1,7 @@
 """Network substrate: topology, routing, connections, signalling."""
 
 from .connection import ConnectionRequest, EstablishedConnection, HopCommitment
-from .routing import Hop, Route, ring_walk, shortest_path
+from .routing import Hop, Route, alternate_paths, ring_walk, shortest_path
 from .serialization import (
     network_from_dict,
     network_to_dict,
@@ -37,6 +37,7 @@ __all__ = [
     "Route",
     "Hop",
     "shortest_path",
+    "alternate_paths",
     "ring_walk",
     "ConnectionRequest",
     "EstablishedConnection",

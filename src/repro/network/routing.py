@@ -14,11 +14,13 @@ shortest path and ring walks.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import (
     AbstractSet,
     Dict,
+    FrozenSet,
     Iterator,
     List,
     Optional,
@@ -29,7 +31,7 @@ from typing import (
 from ..exceptions import RoutingError
 from .topology import Link, Network
 
-__all__ = ["Hop", "Route", "shortest_path", "ring_walk"]
+__all__ = ["Hop", "Route", "shortest_path", "alternate_paths", "ring_walk"]
 
 
 @dataclass(frozen=True)
@@ -180,6 +182,62 @@ def shortest_path(network: Network, src: str, dst: str,
                 seen.add(nxt)  # terminal: reachable but not traversable
     detour = f" avoiding {sorted(avoid)}" if avoid else ""
     raise RoutingError(f"no route from {src!r} to {dst!r}{detour}")
+
+
+def alternate_paths(network: Network, src: str, dst: str, k: int,
+                    avoid: AbstractSet[str] = frozenset()) -> List[Route]:
+    """The ``k`` best loopless routes from ``src`` to ``dst``, in order.
+
+    Candidate routes are enumerated best-first by ``(hop count,
+    link-name sequence)``: fewer links always wins, and equal-length
+    paths are ordered lexicographically by their link names -- a stable,
+    topology-intrinsic tie-break, so the returned list is deterministic
+    across runs, processes and insertion orders.  The alternate-path
+    admission policies of :mod:`repro.workload.policies` lean on exactly
+    this determinism for bit-identical churn replays.
+
+    Routes are *loopless* (no node revisited) and, like
+    :func:`shortest_path`, never traverse *through* a terminal.
+    ``avoid`` names links and/or intermediate nodes no returned route
+    may use (``src``/``dst`` themselves cannot be avoided).
+
+    Returns fewer than ``k`` routes -- possibly none -- when the
+    topology does not offer that many distinct loopless paths; callers
+    treat an empty list as "unroutable" rather than an error, which is
+    what lets a retry policy degrade gracefully on a partitioned
+    network.
+    """
+    network.node(src)
+    network.node(dst)
+    if src == dst:
+        raise RoutingError(f"source and destination are both {src!r}")
+    if k < 1:
+        raise RoutingError(f"need k >= 1 alternate paths, got {k}")
+    found: List[Route] = []
+    # (hop count, link names, current node, nodes on the path).  The
+    # (count, names) prefix is unique per partial path, so heapq never
+    # falls through to comparing the frozenset.
+    frontier: List[Tuple[int, Tuple[str, ...], str, FrozenSet[str]]] = [
+        (0, (), src, frozenset((src,)))
+    ]
+    while frontier and len(found) < k:
+        length, names, here, visited = heapq.heappop(frontier)
+        if here == dst:
+            found.append(Route(network, list(names)))
+            continue
+        for link in sorted(network.out_links(here), key=lambda l: l.name):
+            nxt = link.dst
+            if link.name in avoid or nxt in visited:
+                continue
+            if nxt != dst:
+                if nxt in avoid:
+                    continue
+                if not network.node(nxt).is_switch:
+                    continue  # terminals cannot forward
+            heapq.heappush(frontier, (
+                length + 1, names + (link.name,), nxt, visited | {nxt},
+            ))
+    return found
 
 
 def ring_walk(network: Network, start_switch: str, hops: int,

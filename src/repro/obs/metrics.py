@@ -129,6 +129,22 @@ METRIC_HELP: Dict[str, str] = {
         "applied to an unmigratable victim).",
     "journal_ops_total":
         "Entries appended to admission journals, by op.",
+    "churn_arrivals_total":
+        "Connection arrivals generated by the churn engine, by class.",
+    "churn_outcomes_total":
+        "Arrival outcomes (admitted/blocked) under churn, by class.",
+    "churn_retries_total":
+        "Extra candidate routes walked beyond the first (crankback "
+        "retries), by class.",
+    "churn_departures_total":
+        "Churn departures by outcome (departed/dropped/absent).",
+    "churn_active_connections":
+        "High-water mark of concurrently held churn connections.",
+    "churn_blocking_probability":
+        "Blocking probability of the most recent churn report, by class.",
+    "churn_carried_erlangs":
+        "Carried load (time-averaged held connections) of the most "
+        "recent churn report.",
     "sim_events_processed":
         "Events executed by the discrete-event engine so far.",
     "sim_cells_delivered_total":

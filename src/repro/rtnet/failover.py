@@ -250,6 +250,7 @@ def failover_migration_study(ring_nodes: int = 8,
                              suspicion_threshold: int = 3,
                              breaker_reset_timeout: float = 64.0,
                              max_probe_rounds: int = 10,
+                             seed: int = 0,
                              ) -> MigrationStudy:
     """Fail one ring link mid-service and migrate around it, live.
 
@@ -279,8 +280,11 @@ def failover_migration_study(ring_nodes: int = 8,
 
     Returns the full :class:`MigrationStudy`, including the
     no-double-booking verdict and a snapshot of the survivability
-    counters.
+    counters.  ``seed`` seeds the CAC's retry-jitter RNG, so a study is
+    reproducible end to end (``repro-eval chaos --seed N``).
     """
+    import random
+
     from ..core.admission import NetworkCAC
     from ..network.connection import ConnectionRequest
     from ..network.routing import shortest_path
@@ -298,6 +302,7 @@ def failover_migration_study(ring_nodes: int = 8,
         net, fault_injector=injector, hop_timeout=hop_timeout,
         suspicion_threshold=suspicion_threshold,
         breaker_reset_timeout=breaker_reset_timeout,
+        rng=random.Random(seed),
     )
 
     established = 0

@@ -1,0 +1,154 @@
+"""Pluggable route-selection strategies for dynamic admission.
+
+The paper assumes a *preselected* route carried by the SETUP message; a
+production CAC serving churning traffic gets to choose which route to
+preselect, and to try another when the first one is refused.  This
+module captures that choice as an :class:`AdmissionPolicy`: given a
+``(src, dst)`` pair and the live :class:`~repro.core.admission.NetworkCAC`
+state, a policy returns the ordered candidate routes a setup attempt
+should walk, first choice first.
+
+Three strategies ship (all backed by
+:func:`~repro.network.routing.alternate_paths`, whose ``(hop count,
+link names)`` ordering makes every candidate list deterministic):
+
+* :class:`FirstPathPolicy` -- the single best path; a refusal blocks
+  the call.  This is the paper's original behaviour and the baseline
+  the blocking-probability analytics compare against.
+* :class:`KAlternatePolicy` -- up to ``k`` loopless paths in hop-count
+  order; a refusal retries on the next candidate (crankback routing).
+* :class:`LeastLoadedPolicy` -- the same ``k`` candidates reordered by
+  current bottleneck utilization (ties broken by the hop-count order),
+  so fresh traffic steers away from hot links *before* being refused.
+
+Policies must not consume any randomness: the churn engine guarantees
+that two runs differing only in policy see the *same* arrival sequence,
+which is what makes policy comparisons (first-path vs k-alternate
+blocking at equal offered load) apples to apples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List
+
+from ..exceptions import TrafficModelError
+from ..network.routing import Route, alternate_paths
+from ..network.topology import Network
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.admission import NetworkCAC
+
+__all__ = [
+    "AdmissionPolicy",
+    "FirstPathPolicy",
+    "KAlternatePolicy",
+    "LeastLoadedPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+    "route_load",
+]
+
+
+def route_load(cac: "NetworkCAC", route: Route) -> float:
+    """Bottleneck long-run utilization along a route's queueing points.
+
+    The maximum :meth:`~repro.core.switch_cac.SwitchCAC.utilization`
+    over the route's hops -- the quantity a least-loaded selector
+    minimizes.  A route with no hops (single access link) loads no
+    queueing point and scores 0.
+    """
+    worst = 0.0
+    for hop in route.hops():
+        worst = max(worst, float(cac.switch(hop.switch).utilization(
+            hop.out_link)))
+    return worst
+
+
+class AdmissionPolicy(ABC):
+    """Orders the candidate routes one setup attempt may try."""
+
+    #: Stable identifier (CLI flag value, metrics label, report field).
+    name: str = "abstract"
+
+    @abstractmethod
+    def routes(self, cac: "NetworkCAC", network: Network,
+               src: str, dst: str) -> List[Route]:
+        """Candidate routes from ``src`` to ``dst``, first choice first.
+
+        May be empty (unroutable pair).  Implementations must be
+        deterministic functions of the arguments and draw no
+        randomness.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FirstPathPolicy(AdmissionPolicy):
+    """The single best path; no retry on refusal (the paper's scheme)."""
+
+    name = "first-path"
+
+    def routes(self, cac: "NetworkCAC", network: Network,
+               src: str, dst: str) -> List[Route]:
+        return alternate_paths(network, src, dst, k=1)
+
+
+class KAlternatePolicy(AdmissionPolicy):
+    """Crankback over up to ``k`` loopless paths in hop-count order."""
+
+    name = "k-alternate"
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise TrafficModelError(f"need k >= 1 candidate routes, got {k}")
+        self.k = k
+
+    def routes(self, cac: "NetworkCAC", network: Network,
+               src: str, dst: str) -> List[Route]:
+        return alternate_paths(network, src, dst, k=self.k)
+
+    def __repr__(self) -> str:
+        return f"KAlternatePolicy(k={self.k})"
+
+
+class LeastLoadedPolicy(AdmissionPolicy):
+    """``k`` candidates reordered by current bottleneck utilization.
+
+    Sorting is stable, so routes with equal load keep their hop-count
+    order -- shorter (or lexicographically earlier) routes still win
+    ties, and the ordering stays deterministic under churn.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise TrafficModelError(f"need k >= 1 candidate routes, got {k}")
+        self.k = k
+
+    def routes(self, cac: "NetworkCAC", network: Network,
+               src: str, dst: str) -> List[Route]:
+        candidates = alternate_paths(network, src, dst, k=self.k)
+        return sorted(candidates, key=lambda route: route_load(cac, route))
+
+    def __repr__(self) -> str:
+        return f"LeastLoadedPolicy(k={self.k})"
+
+
+#: CLI-facing policy names, in presentation order.
+POLICY_NAMES = ("first-path", "k-alternate", "least-loaded")
+
+
+def make_policy(name: str, k: int = 2) -> AdmissionPolicy:
+    """Build a policy from its CLI name (``k`` ignored by first-path)."""
+    if name == "first-path":
+        return FirstPathPolicy()
+    if name == "k-alternate":
+        return KAlternatePolicy(k)
+    if name == "least-loaded":
+        return LeastLoadedPolicy(k)
+    raise TrafficModelError(
+        f"unknown admission policy {name!r}; expected one of {POLICY_NAMES}"
+    )

@@ -150,6 +150,61 @@ class TestChaosCommand:
         assert not obs.enabled()
 
 
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-eval {__version__}"
+
+    def test_help_documents_version(self):
+        assert "--version" in build_parser().format_help()
+
+
+class TestChurnCommand:
+    ARGS = ["churn", "--loads", "1", "3", "--events", "300",
+            "--nodes", "6", "--seed", "5"]
+
+    def test_table_output(self, capsys):
+        out = run(capsys, *self.ARGS)
+        assert "blocking vs offered load" in out
+        assert "seed 5" in out
+        assert "carried_erlangs" in out
+
+    def test_csv_output(self, capsys):
+        out = run(capsys, "--csv", *self.ARGS)
+        assert out.startswith("offered_load,arrivals,blocked,blocking")
+
+    def test_json_output_carries_digests(self, capsys):
+        import json
+        payload = json.loads(run(capsys, *self.ARGS, "--json"))
+        assert payload["seed"] == 5
+        assert len(payload["points"]) == 2
+        for point in payload["points"]:
+            assert len(point["digests"]) == 1
+            assert len(point["digests"][0]) == 64
+
+    def test_seeded_runs_reproduce(self, capsys):
+        import json
+        first = json.loads(run(capsys, *self.ARGS, "--json"))
+        second = json.loads(run(capsys, *self.ARGS, "--json"))
+        assert first == second
+
+    def test_jobs_fanout_matches_serial(self, capsys):
+        serial = run(capsys, *self.ARGS, "--json")
+        fanned = run(capsys, "--jobs", "2", *self.ARGS, "--json")
+        assert fanned == serial
+
+    def test_policy_choices_are_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["churn", "--policy", "random-walk"])
+
+    def test_seed_defaults_to_zero(self):
+        assert build_parser().parse_args(["churn"]).seed == 0
+        assert build_parser().parse_args(["chaos"]).seed == 0
+
+
 class TestObsCommand:
     def test_table_output(self, capsys):
         out = run(capsys, "obs")

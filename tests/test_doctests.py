@@ -19,6 +19,7 @@ import repro.network.topology
 import repro.sim.engine
 import repro.sim.gcra
 import repro.units
+import repro.workload.churn
 
 MODULES = [
     repro.units,
@@ -32,6 +33,7 @@ MODULES = [
     repro.analysis.capacity,
     repro.analysis.report,
     repro.analysis.sweep,
+    repro.workload.churn,
 ]
 
 

@@ -1,9 +1,14 @@
-"""Route construction, shortest paths and ring walks."""
+"""Route construction, shortest paths, alternate paths and ring walks."""
 
 import pytest
 
 from repro.exceptions import RoutingError
-from repro.network.routing import Route, ring_walk, shortest_path
+from repro.network.routing import (
+    Route,
+    alternate_paths,
+    ring_walk,
+    shortest_path,
+)
 from repro.network.topology import Network, line_network, ring_network
 
 
@@ -99,6 +104,95 @@ class TestShortestPath:
         net.add_link("c", "b")
         route = shortest_path(net, "a", "d")
         assert route.link_names == ("a->b", "b->d")
+
+
+def diamond_network():
+    """a -> {b, c} -> d: two equal-length disjoint switch paths."""
+    net = Network()
+    for name in ("a", "b", "c", "d"):
+        net.add_switch(name)
+    net.add_link("a", "b")
+    net.add_link("b", "d")
+    net.add_link("a", "c")
+    net.add_link("c", "d")
+    return net
+
+
+class TestAlternatePaths:
+    def test_diamond_orders_equal_lengths_by_link_names(self):
+        net = diamond_network()
+        routes = alternate_paths(net, "a", "d", k=3)
+        assert [r.link_names for r in routes] == [
+            ("a->b", "b->d"),
+            ("a->c", "c->d"),
+        ]
+
+    def test_diamond_k1_is_the_lexicographic_shortest(self):
+        net = diamond_network()
+        (route,) = alternate_paths(net, "a", "d", k=1)
+        assert route.link_names == ("a->b", "b->d")
+
+    def test_ring_offers_both_directions_shortest_first(self):
+        net = ring_network(4, bounds={0: 32})
+        # Add the counter-rotating ring so two directions exist.
+        for index in range(4):
+            nxt = (index + 1) % 4
+            net.add_link(f"s{nxt}", f"s{index}", name=f"r{nxt}->{index}")
+        routes = alternate_paths(net, "s0", "s3", k=2)
+        assert routes[0].link_names == ("r0->3",)          # 1 hop, reverse
+        assert routes[1].link_names == ("s0->s1", "s1->s2", "s2->s3")
+
+    def test_unidirectional_ring_has_exactly_one_loopless_path(self):
+        net = ring_network(4, bounds={0: 32})
+        routes = alternate_paths(net, "s0", "s2", k=5)
+        assert [r.link_names for r in routes] == [("s0->s1", "s1->s2")]
+
+    def test_disconnected_returns_empty(self):
+        net = Network()
+        net.add_switch("a")
+        net.add_switch("b")
+        assert alternate_paths(net, "a", "b", k=3) == []
+
+    def test_avoid_link_reroutes(self):
+        net = diamond_network()
+        routes = alternate_paths(net, "a", "d", k=2,
+                                 avoid=frozenset(("a->b",)))
+        assert [r.link_names for r in routes] == [("a->c", "c->d")]
+
+    def test_avoid_node_reroutes(self):
+        net = diamond_network()
+        routes = alternate_paths(net, "a", "d", k=2, avoid=frozenset(("c",)))
+        assert [r.link_names for r in routes] == [("a->b", "b->d")]
+
+    def test_never_routes_through_terminals(self):
+        net = diamond_network()
+        net.add_terminal("t")
+        net.add_duplex("a", "t")
+        net.add_duplex("t", "d")
+        routes = alternate_paths(net, "a", "d", k=5)
+        for route in routes:
+            assert "t" not in [link.dst for link in route.links[:-1]]
+
+    def test_terminal_endpoints_work(self, line):
+        routes = alternate_paths(line, "t0.0", "t2.0", k=2)
+        assert len(routes) == 1
+        assert routes[0].source == "t0.0"
+        assert routes[0].destination == "t2.0"
+
+    def test_same_node_rejected(self):
+        net = diamond_network()
+        with pytest.raises(RoutingError):
+            alternate_paths(net, "a", "a", k=1)
+
+    def test_bad_k_rejected(self):
+        net = diamond_network()
+        with pytest.raises(RoutingError, match="k >= 1"):
+            alternate_paths(net, "a", "d", k=0)
+
+    def test_first_route_matches_shortest_path_length(self):
+        net = diamond_network()
+        best = alternate_paths(net, "a", "d", k=1)[0]
+        assert len(best) == len(shortest_path(net, "a", "d"))
 
 
 class TestRingWalk:

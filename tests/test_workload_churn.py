@@ -1,0 +1,225 @@
+"""The churn engine: determinism, budgets, failures, policy comparison.
+
+The heavyweight equivalence cases scale with the ``CHURN_EVENTS``
+environment variable (the CI churn-property job sets 2000; the local
+default keeps the tier-1 suite fast).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.admission import NetworkCAC
+from repro.core.traffic import cbr
+from repro.exceptions import TrafficModelError
+from repro.network.topology import star_network
+from repro.robustness.faults import FaultInjector, FaultPlan
+from repro.robustness.migration import no_double_booking
+from repro.workload import (
+    BlockingPoint,
+    ChurnEngine,
+    ChurnScenario,
+    LinkFailure,
+    TrafficClass,
+    blocking_curve,
+    make_policy,
+    opposite_pairs,
+    run_scenario,
+    star_pairs,
+)
+
+CHURN_EVENTS = int(os.environ.get("CHURN_EVENTS", "400"))
+
+RING = dict(topology="dual-ring", nodes=6, bound=48.0, rate=0.15)
+
+
+def small_engine(seed=7, policy=None, failures=(), injector=None,
+                 arrival_rate=0.01):
+    net = star_network(4, bounds={0: 32})
+    cac = NetworkCAC(net, fault_injector=injector, rng=random.Random(seed))
+    engine = ChurnEngine(
+        cac, [TrafficClass("cbr", cbr(0.1), arrival_rate, 200.0)],
+        pairs=star_pairs(net), seed=seed, policy=policy, failures=failures,
+    )
+    return engine
+
+
+class TestChurnEngine:
+    def test_budget_is_hard_and_exact(self):
+        engine = small_engine()
+        assert engine.run(max_events=25) == 25
+        assert engine.events_fired == 25
+        assert len(engine.ledger) == 25
+
+    def test_run_continues_the_same_trajectory(self):
+        whole = small_engine()
+        whole.run(max_events=60)
+        split = small_engine()
+        split.run(max_events=23)
+        split.run(max_events=37)
+        assert [tuple(vars(r).values()) for r in split.ledger] == \
+               [tuple(vars(r).values()) for r in whole.ledger]
+
+    def test_same_seed_is_bit_identical(self):
+        a, b = small_engine(seed=3), small_engine(seed=3)
+        a.run(max_events=80)
+        b.run(max_events=80)
+        assert a.report().ledger_digest == b.report().ledger_digest
+        assert a.report().journal_digest == b.report().journal_digest
+
+    def test_different_seeds_diverge(self):
+        a, b = small_engine(seed=3), small_engine(seed=4)
+        a.run(max_events=80)
+        b.run(max_events=80)
+        assert a.report().ledger_digest != b.report().ledger_digest
+
+    def test_policy_does_not_perturb_arrivals(self):
+        # Same seed, different policy: identical arrival instants and
+        # connection names -- only outcomes/routes may differ.
+        first = small_engine(seed=5, policy=make_policy("first-path"))
+        alt = small_engine(seed=5, policy=make_policy("least-loaded", 3))
+        first.run(max_events=70)
+        alt.run(max_events=70)
+        key = [(r.time, r.kind, r.name) for r in first.ledger
+               if r.kind == "arrival"]
+        assert key == [(r.time, r.kind, r.name) for r in alt.ledger
+                       if r.kind == "arrival"]
+
+    def test_departures_tear_down(self):
+        engine = small_engine()
+        engine.run(max_events=120)
+        departed = [r for r in engine.ledger if r.kind == "departure"]
+        assert departed and all(r.outcome == "departed" for r in departed)
+        assert set(engine.active) == set(engine.cac.established)
+
+    def test_drain_empties_the_network(self):
+        engine = small_engine()
+        engine.run(max_events=60)
+        engine.drain()
+        assert engine.active == {}
+        assert engine.cac.established == {}
+
+    def test_zero_rate_class_is_inert(self):
+        engine = small_engine(arrival_rate=0.0)
+        assert engine.run(max_events=50) == 0
+        assert engine.ledger == []
+
+    def test_validation(self):
+        net = star_network(2, bounds={0: 32})
+        cac = NetworkCAC(net)
+        cls = TrafficClass("cbr", cbr(0.1), 0.01, 100.0)
+        with pytest.raises(TrafficModelError, match="at least one traffic"):
+            ChurnEngine(cac, [], pairs=[("t0", "t1")])
+        with pytest.raises(TrafficModelError, match="at least one"):
+            ChurnEngine(cac, [cls], pairs=[])
+        with pytest.raises(TrafficModelError, match="duplicate"):
+            ChurnEngine(cac, [cls, cls], pairs=[("t0", "t1")])
+        with pytest.raises(TrafficModelError, match="arrival rate"):
+            TrafficClass("x", cbr(0.1), -1.0, 100.0)
+        with pytest.raises(TrafficModelError, match="holding"):
+            TrafficClass("x", cbr(0.1), 0.1, 0.0)
+        engine = ChurnEngine(cac, [cls], pairs=[("t0", "t1")])
+        with pytest.raises(TrafficModelError, match="max_events"):
+            engine.run(max_events=-1)
+
+
+class TestFailurePlan:
+    def plan(self):
+        return (LinkFailure(time=1200.0, link="ring0->ring1",
+                            policy="migrate-or-drop", restore_after=1200.0),)
+
+    def scenario(self, **kw):
+        base = dict(RING, events=CHURN_EVENTS, seed=9, offered_load=3.0,
+                    policy="k-alternate", failures=self.plan())
+        base.update(kw)
+        return ChurnScenario(**base)
+
+    def run_engine(self):
+        scen = self.scenario()
+        net = scen.build_network()
+        cac = NetworkCAC(net, fault_injector=FaultInjector(FaultPlan([])),
+                         rng=random.Random(scen.seed))
+        engine = ChurnEngine(
+            cac, [scen.traffic_class()], pairs=scen.build_pairs(net),
+            seed=scen.seed, policy=make_policy(scen.policy, scen.k),
+            failures=scen.failures,
+        )
+        engine.run(max_events=scen.events)
+        return engine
+
+    def test_failure_and_restore_are_ledgered(self):
+        engine = self.run_engine()
+        kinds = {r.kind for r in engine.ledger}
+        assert "link-fail" in kinds and "link-restore" in kinds
+
+    def test_no_double_booking_under_armed_failure(self):
+        engine = self.run_engine()
+        no_double_booking(engine.cac)
+        for switch in engine.cac.switches().values():
+            switch.verify_consistency()
+
+    def test_failure_run_is_deterministic(self):
+        assert (run_scenario(self.scenario()).ledger_digest
+                == run_scenario(self.scenario()).ledger_digest)
+
+
+class TestPolicyComparison:
+    def test_k_alternate_blocks_strictly_less_than_first_path(self):
+        # The acceptance case: on the dual ring at a load that saturates
+        # the primary direction, crankback over the reverse ring must
+        # strictly lower blocking while seeing the same arrivals.
+        blocking = {}
+        for policy in ("first-path", "k-alternate"):
+            report = run_scenario(ChurnScenario(
+                events=max(300, CHURN_EVENTS), seed=11, offered_load=4.0,
+                policy=policy, k=2, **RING))
+            blocking[policy] = report.blocking
+        assert blocking["k-alternate"] < blocking["first-path"]
+
+
+class TestScenario:
+    def test_star_topology_and_pairs(self):
+        scen = ChurnScenario(topology="star", nodes=3)
+        net = scen.build_network()
+        pairs = scen.build_pairs(net)
+        assert len(pairs) == 6      # 3 terminals, ordered pairs
+        assert all(src != dst for src, dst in pairs)
+
+    def test_opposite_pairs_cross_the_ring(self):
+        pairs = opposite_pairs(6, 1)
+        assert ("term0.0", "term3.0") in pairs
+        assert len(pairs) == 6
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(TrafficModelError, match="unknown churn"):
+            ChurnScenario(topology="mesh").build_network()
+
+    def test_arrival_rate_hits_offered_load(self):
+        scen = ChurnScenario(offered_load=2.0, rate=0.05, mean_holding=400.0)
+        assert scen.arrival_rate() * scen.mean_holding * scen.rate == \
+               pytest.approx(2.0)
+
+    def test_bad_replications_rejected(self):
+        with pytest.raises(TrafficModelError, match="replication"):
+            blocking_curve([1.0], ChurnScenario(), replications=0)
+
+
+class TestEquivalence:
+    def curve(self, jobs):
+        scenario = ChurnScenario(
+            events=CHURN_EVENTS, seed=5, policy="k-alternate", **RING)
+        return blocking_curve([1.0, 3.0], scenario, replications=2,
+                              jobs=jobs)
+
+    def test_jobs1_vs_jobs4_bit_identical(self):
+        serial = self.curve(jobs=1)
+        fanned = self.curve(jobs=4)
+        assert serial == fanned
+        assert all(isinstance(point, BlockingPoint) for point in fanned)
+        assert [point.digests for point in serial] == \
+               [point.digests for point in fanned]
+
+    def test_replications_use_distinct_seeds(self):
+        (point, _other) = self.curve(jobs=1)
+        assert len(set(point.digests)) == len(point.digests)

@@ -1,0 +1,173 @@
+"""Blocking/load analytics: batch means, digests, summaries, timelines."""
+
+import pytest
+
+from repro.core.traffic import cbr
+from repro.workload import TrafficClass
+from repro.workload.churn import ChurnRecord
+from repro.workload.stats import (
+    batch_means,
+    export_report,
+    ledger_digest,
+    summarize,
+    utilization_timeline,
+)
+
+
+def record(index, time, kind, name, outcome, route=(), cls="cbr",
+           attempts=1):
+    return ChurnRecord(index=index, time=time, kind=kind, name=name,
+                       cls=cls, outcome=outcome, attempts=attempts,
+                       route=tuple(route))
+
+
+CLASSES = {"cbr": TrafficClass("cbr", cbr(0.25), 0.01, 50.0)}
+
+
+def tiny_ledger():
+    """Two admissions (one departs), one block, over horizon 100."""
+    return [
+        record(0, 10.0, "arrival", "c0", "admitted", route=("a->b", "b->c")),
+        record(1, 20.0, "arrival", "c1", "blocked"),
+        record(2, 40.0, "arrival", "c2", "admitted", route=("a->b",)),
+        record(3, 60.0, "departure", "c0", "departed"),
+    ]
+
+
+class TestBatchMeans:
+    def test_empty_and_singleton_degenerate(self):
+        assert batch_means([]) == (0.0, 0.0)
+        assert batch_means([0.4]) == (0.4, 0.0)
+
+    def test_constant_batches_have_zero_width(self):
+        mean, half = batch_means([0.2] * 8)
+        assert mean == pytest.approx(0.2)
+        assert half == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_two_sample_interval(self):
+        # s = sqrt(0.02), t_1 = 12.706, half = t * s / sqrt(2)
+        mean, half = batch_means([0.1, 0.3])
+        assert mean == pytest.approx(0.2)
+        assert half == pytest.approx(12.706 * (0.02 ** 0.5) / (2 ** 0.5))
+
+    def test_large_n_uses_normal_quantile(self):
+        values = [0.0, 1.0] * 50
+        _mean, half = batch_means(values)
+        assert half == pytest.approx(1.96 * 0.5025189 / 10, rel=1e-3)
+
+
+class TestLedgerDigest:
+    def test_sensitive_to_every_field(self):
+        base = tiny_ledger()
+        baseline = ledger_digest(base)
+        assert ledger_digest(base) == baseline    # deterministic
+        mutated = list(base)
+        mutated[1] = record(1, 20.0, "arrival", "c1", "admitted")
+        assert ledger_digest(mutated) != baseline
+        shifted = list(base)
+        shifted[3] = record(3, 60.0000001, "departure", "c0", "departed")
+        assert ledger_digest(shifted) != baseline
+
+    def test_empty_ledger_digest_is_stable(self):
+        assert ledger_digest([]) == ledger_digest([])
+
+
+class TestSummarize:
+    def summary(self, warmup=0.0):
+        return summarize(tiny_ledger(), CLASSES, horizon=100.0,
+                         warmup=warmup, seed=1, policy="first-path",
+                         journal_digest="j", batches=4)
+
+    def test_counts_and_blocking(self):
+        report = self.summary()
+        assert (report.arrivals, report.admitted, report.blocked) == (3, 2, 1)
+        assert report.blocking == pytest.approx(1 / 3)
+        assert report.active_at_end == 1          # c2 still holding
+
+    def test_carried_erlangs_is_time_averaged(self):
+        # c0 holds 10..60, c2 holds 40..100 -> (50 + 60) / 100.
+        report = self.summary()
+        assert report.carried_erlangs == pytest.approx(1.1)
+
+    def test_link_utilization_mean_and_peak(self):
+        report = self.summary()
+        util = {link: (mean, peak)
+                for link, mean, peak in report.link_utilization}
+        # a->b carries both intervals at scr 0.25: overlap 50+60 cell
+        # times -> mean 0.275; both live during 40..60 -> peak 0.5.
+        assert util["a->b"][0] == pytest.approx(0.275)
+        assert util["a->b"][1] == pytest.approx(0.5)
+        assert util["b->c"][0] == pytest.approx(0.125)
+        assert util["b->c"][1] == pytest.approx(0.25)
+
+    def test_warmup_trims_rows_and_holding_time(self):
+        report = self.summary(warmup=30.0)
+        # Only c2's arrival is in the window.
+        assert (report.arrivals, report.blocked) == (1, 0)
+        assert report.blocking == 0.0
+        # c0 contributes only 30..60, c2 contributes 40..100, over 70.
+        assert report.carried_erlangs == pytest.approx((30 + 60) / 70)
+
+    def test_empty_window_degenerates_to_zero(self):
+        report = summarize(tiny_ledger(), CLASSES, horizon=100.0,
+                           warmup=100.0, seed=1, policy="p",
+                           journal_digest="j")
+        assert report.carried_erlangs == 0.0
+        assert report.link_utilization == ()
+
+    def test_as_dict_round_trips_to_json(self):
+        import json
+        payload = json.dumps(self.summary().as_dict())
+        decoded = json.loads(payload)
+        assert decoded["per_class"][0]["class"] == "cbr"
+        assert decoded["journal_digest"] == "j"
+
+
+class TestUtilizationTimeline:
+    def test_piecewise_series(self):
+        series = utilization_timeline(tiny_ledger(), CLASSES, horizon=100.0)
+        assert series["a->b"] == [
+            (0.0, 0.0), (10.0, 0.25), (40.0, 0.5), (60.0, 0.25)]
+        assert series["b->c"] == [(0.0, 0.0), (10.0, 0.25), (60.0, 0.0)]
+
+    def test_link_filter(self):
+        series = utilization_timeline(tiny_ledger(), CLASSES, horizon=100.0,
+                                      links=["b->c"])
+        assert set(series) == {"b->c"}
+
+
+class TestExportReport:
+    def test_gauges_and_event(self, obs_enabled, obs_bus):
+        registry, _tracer = obs_enabled
+        seen = []
+        obs_bus.subscribe(seen.append)
+        report = summarize(tiny_ledger(), CLASSES, horizon=100.0,
+                           warmup=0.0, seed=1, policy="first-path",
+                           journal_digest="j")
+        export_report(report)
+        assert registry.value("churn_blocking_probability",
+                              cls="cbr") == pytest.approx(1 / 3)
+        assert registry.value("churn_carried_erlangs") == pytest.approx(1.1)
+        assert [event.name for event in seen] == ["report"]
+        assert seen[0].category == "churn"
+
+
+class TestJournalDigest:
+    def test_identical_runs_share_digest(self):
+        import random
+
+        from repro.core.admission import NetworkCAC
+        from repro.network.topology import star_network
+        from repro.workload import (ChurnEngine, TrafficClass, star_pairs,
+                                    journal_digest_of)
+
+        def run():
+            cac = NetworkCAC(star_network(3, bounds={0: 32}),
+                             rng=random.Random(1))
+            engine = ChurnEngine(
+                cac, [TrafficClass("cbr", cbr(0.1), 0.01, 100.0)],
+                pairs=star_pairs(cac.network), seed=1)
+            engine.run(max_events=40)
+            return journal_digest_of(cac)
+
+        assert run() == run()
