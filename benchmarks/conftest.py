@@ -108,7 +108,11 @@ def pytest_sessionfinish(session, exitstatus):
     churn_module = sys.modules.get("test_bench_churn")
     churn_results = dict(getattr(churn_module, "RESULTS", {}) or {}) \
         if churn_module else {}
-    if not core_ran and not parallel_results and not churn_results:
+    plane_module = sys.modules.get("test_bench_setup_latency")
+    plane_results = dict(getattr(plane_module, "RESULTS", {}) or {}) \
+        if plane_module else {}
+    if not core_ran and not parallel_results and not churn_results \
+            and not plane_results:
         return  # no bench family ran; keep the last artifact
     # Partial runs (only core-ops, or only the parallel benches) merge
     # into the existing artifact instead of clobbering the other half.
@@ -150,6 +154,10 @@ def pytest_sessionfinish(session, exitstatus):
         # dynamic-traffic throughput and the first-path vs k-alternate
         # blocking comparison (see test_bench_churn).
         artifact["churn"] = dict(sorted(churn_results.items()))
+    if plane_results:
+        # engine-driven vs synchronous setup throughput and plane-mode
+        # churn under setup latency (see test_bench_setup_latency).
+        artifact["admission_plane"] = dict(sorted(plane_results.items()))
     _ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
 
 

@@ -169,6 +169,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base seed for arrivals/holding times "
                             "(default 0; equal seeds reproduce the "
                             "curve bit for bit)")
+    churn.add_argument("--setup-latency", type=float, default=0.0,
+                       help="per-hop per-direction signaling transit "
+                            "time (cell times); > 0 runs arrivals as "
+                            "concurrent in-flight setups on the "
+                            "event-driven admission plane (default 0: "
+                            "instantaneous setups)")
+    churn.add_argument("--reservation-ttl", type=float, default=None,
+                       help="phase-1 reservation hold time before the "
+                            "switch discards it (cell times; default: "
+                            "no expiry)")
     churn.add_argument("--json", action="store_true",
                        help="emit the curve as a JSON document instead "
                             "of a table (the CI artifact format)")
@@ -381,6 +391,8 @@ def _run_churn(args) -> None:
         topology=args.topology, nodes=args.nodes, bound=args.bound,
         rate=args.rate, mean_holding=args.holding, events=args.events,
         seed=args.seed, policy=args.policy, k=args.k,
+        setup_latency=args.setup_latency,
+        reservation_ttl=args.reservation_ttl,
     )
     points = blocking_curve(args.loads, scenario,
                             replications=args.replications,
@@ -394,6 +406,8 @@ def _run_churn(args) -> None:
             "events": args.events,
             "seed": args.seed,
             "replications": args.replications,
+            "setup_latency": args.setup_latency,
+            "reservation_ttl": args.reservation_ttl,
             "points": [
                 {
                     "offered_load": point.offered_load,

@@ -10,6 +10,8 @@ Re-exports the pieces a typical user composes:
   (:meth:`NetworkCAC.setup_many`) and its layered state backends
   (:class:`PortState`, :class:`AdmissionStore` -- see
   ``docs/architecture.md``);
+* the event-driven admission plane (:class:`AdmissionPlane`) running
+  concurrent in-flight setups on the shared simulation engine;
 * CDV accumulation policies (:data:`HARD`, :data:`SOFT`);
 * the baseline schemes used for comparison.
 """
@@ -32,6 +34,7 @@ from .delay_bound import (
     is_stable,
 )
 from .kernels import kernels_enabled
+from .plane import AdmissionPlane, SetupOutcome
 from .port_state import PortState
 from .server import AdmissionDecision, AuditEntry, CacServer, PlanReport
 from .store import (
@@ -82,6 +85,8 @@ __all__ = [
     "ShardedAdmissionStore",
     "NetworkCAC",
     "BatchSetupResult",
+    "AdmissionPlane",
+    "SetupOutcome",
     "CacServer",
     "AdmissionDecision",
     "AuditEntry",

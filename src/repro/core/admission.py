@@ -65,10 +65,12 @@ from ..network.signaling import (
     SetupMessage,
     SignalingChannel,
     SignalingTrace,
+    drain_steps,
 )
 from ..network.topology import Network
 from ..obs import metrics as _om
 from ..obs import spans as _ospans
+from ..obs.clock import Clock
 from ..robustness.breaker import BreakerBoard, CircuitBreaker
 from ..robustness.faults import FaultInjector
 from ..robustness.health import HealthMonitor
@@ -140,7 +142,13 @@ class NetworkCAC:
     clock / rng:
         Simulated time source and backoff-jitter randomness, injected
         so fault schedules replay deterministically.  The clock is
-        shared across all walks of this instance.
+        shared across all walks of this instance; the event-driven
+        admission plane rebinds it to an
+        :class:`~repro.obs.clock.EngineClock` via :meth:`bind_clock`.
+    hop_latency:
+        Nominal per-direction signaling transit time per hop, forwarded
+        to every channel; zero keeps the paper's instantaneous-exchange
+        model.
     store_factory:
         Optional factory mapping a switch name to the
         :class:`~repro.core.store.AdmissionStore` backend its
@@ -189,13 +197,15 @@ class NetworkCAC:
                      Callable[[str], AdmissionStore]] = None,
                  breaker_threshold: int = 3,
                  breaker_reset_timeout: float = 64.0,
-                 suspicion_threshold: int = 3):
+                 suspicion_threshold: int = 3,
+                 hop_latency: float = 0.0):
         self.network = network
         self.cdv_policy = make_policy(cdv_policy)
         self.filter_per_input = filter_per_input
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy or RetryPolicy()
         self.hop_timeout = hop_timeout
+        self.hop_latency = hop_latency
         self.clock = clock or ManualClock()
         self.rng = rng or random.Random(0)
         self._switches: Dict[str, SwitchCAC] = {}
@@ -260,7 +270,21 @@ class NetworkCAC:
             crash_switch=lambda name: self._switches[name].crash(),
             breakers=self.breakers,
             health=self.health,
+            hop_latency=self.hop_latency,
         )
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Move this CAC (and its survivability layer) onto ``clock``.
+
+        The admission plane calls this with an
+        :class:`~repro.obs.clock.EngineClock` so walks, breakers and the
+        health monitor all read the one simulation timeline.  Channels
+        are created per walk, so they pick the new clock up
+        automatically.
+        """
+        self.clock = clock
+        self.health.bind_clock(clock)
+        self.breakers.bind_clock(clock)
 
     # ------------------------------------------------------------------
     # Setup / teardown
@@ -304,16 +328,43 @@ class NetworkCAC:
         reserving anything.  On success the connection is committed at
         every hop and recorded.
         """
+        return drain_steps(self.setup_steps(request, trace), self.clock)
+
+    def setup_steps(self, request: ConnectionRequest,
+                    trace: Optional[SignalingTrace] = None,
+                    on_reserved: Optional[Callable[[str, str], None]] = None):
+        """:meth:`setup` as a resumable step generator.
+
+        Yields every elapse of simulated time; the admission plane runs
+        this via :meth:`Engine.process <repro.sim.engine.Engine.process>`
+        so N setups can be in flight concurrently, while :meth:`setup`
+        drains it synchronously against the CAC clock.
+        ``on_reserved(switch, leg_id)`` observes each successful phase-1
+        reservation (the plane arms its TTL hold timers there).
+        """
         if request.name in self._established:
             raise AdmissionError(
                 f"connection {request.name!r} is already established"
             )
-        return self._establish(request, trace)
+        return (yield from self._establish_steps(request, trace,
+                                                 on_reserved=on_reserved))
 
     def _establish(self, request: ConnectionRequest,
                    trace: Optional[SignalingTrace],
                    switch_id: Optional[str] = None,
                    generation: int = 0) -> EstablishedConnection:
+        """Synchronous drain of :meth:`_establish_steps`."""
+        return drain_steps(
+            self._establish_steps(request, trace, switch_id, generation),
+            self.clock,
+        )
+
+    def _establish_steps(self, request: ConnectionRequest,
+                         trace: Optional[SignalingTrace],
+                         switch_id: Optional[str] = None,
+                         generation: int = 0,
+                         on_reserved: Optional[
+                             Callable[[str, str], None]] = None):
         """The two-phase walk behind :meth:`setup` and :meth:`migrate`.
 
         ``switch_id`` is the id the per-switch legs are booked under --
@@ -324,6 +375,17 @@ class NetworkCAC:
         (of the given ``generation``) is registered under the plain
         name, *replacing* any previous generation: that swap is the
         migration's cutover.
+
+        A step generator (see :func:`~repro.network.signaling.drain_steps`):
+        every per-hop exchange is a ``yield from`` of the channel's
+        :meth:`~repro.network.signaling.SignalingChannel.deliver_steps`.
+        ``on_reserved(switch, leg_id)`` fires after each successful
+        phase-1 reservation -- the admission plane arms that hop's TTL
+        hold timer there.  A reservation the TTL discarded before the
+        COMMIT wave reached it raises
+        :class:`~repro.exceptions.AdmissionError` at the commit, which
+        unwinds the walk with outcome ``expired`` (unreachable in the
+        synchronous mode, where no timer can interleave).
         """
         leg_id = switch_id if switch_id is not None else request.name
         registry = _om.get_registry()
@@ -385,10 +447,12 @@ class NetworkCAC:
                                           connection=leg_id, hop=index,
                                           switch=hop.switch,
                                           out_link=hop.out_link):
-                            result = channel.deliver(
+                            result = yield from channel.deliver_steps(
                                 "reserve", index, hop.switch, hop.in_link,
                                 leg_id, process_reserve,
                             )
+                        if on_reserved is not None:
+                            on_reserved(hop.switch, leg_id)
                         committed.append(HopCommitment(
                             switch=hop.switch,
                             in_link=hop.in_link,
@@ -407,13 +471,14 @@ class NetworkCAC:
                                                            hop.switch))
                             self.switch(hop.switch).commit(leg_id)
 
-                        channel.deliver(
+                        yield from channel.deliver_steps(
                             "commit", index, hop.switch, hop.in_link,
                             leg_id, process_commit,
                         )
                 except SwitchRejection as rejection:
                     setup_span.tag(outcome="rejected")
-                    self._unwind(leg_id, hops[:touched], channel, trace)
+                    yield from self._unwind_steps(leg_id, hops[:touched],
+                                                  channel, trace)
                     if trace is not None:
                         trace.record(RejectMessage(
                             leg_id, rejection.switch, str(rejection),
@@ -422,7 +487,8 @@ class NetworkCAC:
                     raise
                 except SignalingTimeout as timeout:
                     setup_span.tag(outcome="timeout")
-                    self._unwind(leg_id, hops[:touched], channel, trace)
+                    yield from self._unwind_steps(leg_id, hops[:touched],
+                                                  channel, trace)
                     if trace is not None:
                         trace.record(RejectMessage(
                             leg_id, timeout.at_node, str(timeout),
@@ -433,12 +499,28 @@ class NetworkCAC:
                     # A hop's breaker is open: the walk fast-failed
                     # without spending a single timeout.
                     setup_span.tag(outcome="link-down")
-                    self._unwind(leg_id, hops[:touched], channel, trace)
+                    yield from self._unwind_steps(leg_id, hops[:touched],
+                                                  channel, trace)
                     if trace is not None:
                         trace.record(RejectMessage(
                             leg_id, down.at_node, str(down),
                         ))
                     _finish("link-down")
+                    raise
+                except AdmissionError as expired:
+                    # Only reachable in the event-driven mode: a commit
+                    # found its reservation discarded by the TTL hold
+                    # timer (or raced a concurrent walk's conflicting
+                    # state).  The subclasses above were already
+                    # handled, so this branch is the residue.
+                    setup_span.tag(outcome="expired")
+                    yield from self._unwind_steps(leg_id, hops[:touched],
+                                                  channel, trace)
+                    if trace is not None:
+                        trace.record(RejectMessage(
+                            leg_id, request.route.source, str(expired),
+                        ))
+                    _finish("expired")
                     raise
                 setup_span.tag(outcome="accepted")
         finally:
@@ -457,9 +539,9 @@ class NetworkCAC:
         _finish("accepted")
         return established
 
-    def _unwind(self, name: str, hops, channel: SignalingChannel,
-                trace: Optional[SignalingTrace]) -> None:
-        """Abort every hop a failed walk may have touched.
+    def _unwind_steps(self, name: str, hops, channel: SignalingChannel,
+                      trace: Optional[SignalingTrace]):
+        """Abort every hop a failed walk may have touched (step generator).
 
         :meth:`SwitchCAC.rollback` is idempotent, so hops that never
         actually reserved (the message was lost before arriving) or that
@@ -481,7 +563,7 @@ class NetworkCAC:
                 cac.rollback(name)
 
             try:
-                channel.deliver(
+                yield from channel.deliver_steps(
                     "abort", index, hop.switch, hop.in_link, name,
                     process_abort,
                 )
@@ -536,17 +618,22 @@ class NetworkCAC:
         undeliverable RELEASE falls back to reservation expiry, exactly
         like a failed setup's unwind.
         """
+        drain_steps(self.teardown_steps(name, trace), self.clock)
+
+    def teardown_steps(self, name: str,
+                       trace: Optional[SignalingTrace] = None):
+        """:meth:`teardown` as a step generator (for the engine mode)."""
         try:
             established = self._established.pop(name)
         except KeyError:
             raise AdmissionError(f"no established connection {name!r}") from None
-        self._release_legs(established, trace)
+        yield from self._release_legs_steps(established, trace)
         registry = _om.get_registry()
         if registry.enabled:
             registry.counter("network_teardowns_total").inc()
 
-    def _release_legs(self, established: EstablishedConnection,
-                      trace: Optional[SignalingTrace]) -> None:
+    def _release_legs_steps(self, established: EstablishedConnection,
+                            trace: Optional[SignalingTrace]):
         """Release one generation's booking at every hop, best-effort.
 
         Works off the connection's :attr:`leg_name` so it releases
@@ -569,7 +656,7 @@ class NetworkCAC:
                 cac.rollback(leg_id)
 
             try:
-                channel.deliver(
+                yield from channel.deliver_steps(
                     "release", index, commitment.switch, commitment.in_link,
                     leg_id, process_release,
                 )
@@ -699,6 +786,12 @@ class NetworkCAC:
         the migration is atomic.  Every step is journaled in
         :attr:`migration_journal`.
         """
+        return drain_steps(self.migrate_steps(name, avoid, trace),
+                           self.clock)
+
+    def migrate_steps(self, name: str, avoid: AbstractSet[str],
+                      trace: Optional[SignalingTrace] = None):
+        """:meth:`migrate` as a step generator (for the engine mode)."""
         established = self._established.get(name)
         if established is None:
             raise AdmissionError(f"no established connection {name!r}")
@@ -723,7 +816,7 @@ class NetworkCAC:
                 detail=" ".join(detour.link_names))
             new_request = replace(established.request, route=detour)
             try:
-                connection = self._establish(
+                connection = yield from self._establish_steps(
                     new_request, trace,
                     switch_id=switch_id, generation=generation,
                 )
@@ -736,7 +829,7 @@ class NetworkCAC:
             # _establish registered the new generation under the plain
             # name: that swap was the cutover.
             self.migration_journal.append("cutover", name, generation)
-            self._release_legs(established, trace)
+            yield from self._release_legs_steps(established, trace)
             self.migration_journal.append("released", name, generation)
             self._count_migration(MIGRATED)
             self.migration_journal.append("done", name, generation)
@@ -755,6 +848,13 @@ class NetworkCAC:
         booked on the dead route awaiting repair.  Victims are handled
         in name order for determinism.
         """
+        return drain_steps(
+            self.handle_link_failure_steps(link, policy, trace), self.clock)
+
+    def handle_link_failure_steps(self, link: str,
+                                  policy: str = "migrate-or-drop",
+                                  trace: Optional[SignalingTrace] = None):
+        """:meth:`handle_link_failure` as a step generator."""
         self.network.link(link)
         victims = [
             connection
@@ -762,29 +862,37 @@ class NetworkCAC:
             if any(hop.in_link == link or hop.out_link == link
                    for hop in connection.hops)
         ]
-        return self._handle_failure(link, "link", frozenset((link,)),
-                                    victims, policy, trace)
+        return (yield from self._handle_failure_steps(
+            link, "link", frozenset((link,)), victims, policy, trace))
 
     def handle_switch_failure(self, switch: str,
                               policy: str = "migrate-or-drop",
                               trace: Optional[SignalingTrace] = None,
                               ) -> MigrationReport:
         """Migrate every connection routed through a failed switch."""
+        return drain_steps(
+            self.handle_switch_failure_steps(switch, policy, trace),
+            self.clock)
+
+    def handle_switch_failure_steps(self, switch: str,
+                                    policy: str = "migrate-or-drop",
+                                    trace: Optional[SignalingTrace] = None):
+        """:meth:`handle_switch_failure` as a step generator."""
         self.switch(switch)
         victims = [
             connection
             for _name, connection in sorted(self._established.items())
             if any(hop.switch == switch for hop in connection.hops)
         ]
-        return self._handle_failure(switch, "switch", frozenset((switch,)),
-                                    victims, policy, trace)
+        return (yield from self._handle_failure_steps(
+            switch, "switch", frozenset((switch,)), victims, policy, trace))
 
-    def _handle_failure(self, trigger: str, kind: str,
-                        avoid: AbstractSet[str],
-                        victims: Sequence[EstablishedConnection],
-                        policy: str,
-                        trace: Optional[SignalingTrace],
-                        ) -> MigrationReport:
+    def _handle_failure_steps(self, trigger: str, kind: str,
+                              avoid: AbstractSet[str],
+                              victims: Sequence[EstablishedConnection],
+                              policy: str,
+                              trace: Optional[SignalingTrace],
+                              ):
         if policy not in POLICIES:
             raise ValueError(
                 f"unknown migration policy {policy!r}; expected one of "
@@ -799,11 +907,13 @@ class NetworkCAC:
                           victims=len(victims)) as failure_span:
             for victim in victims:
                 try:
-                    self.migrate(victim.name, avoid, trace=trace)
+                    yield from self.migrate_steps(victim.name, avoid,
+                                                  trace=trace)
                 except MigrationError as exc:
                     failures[victim.name] = str(exc.reason)
                     if policy == "migrate-or-drop":
-                        self.teardown(victim.name, trace=trace)
+                        yield from self.teardown_steps(victim.name,
+                                                       trace=trace)
                         self._count_migration(DROPPED)
                         self.migration_journal.append(
                             "dropped", victim.name,

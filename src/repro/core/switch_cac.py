@@ -102,9 +102,9 @@ class _SwitchMetrics:
 
     __slots__ = ("generation", "enabled", "checks", "check_rejections",
                  "check_seconds", "admits", "reserves", "commits",
-                 "rollbacks", "releases", "incremental", "recoveries",
-                 "recoveries_verified", "replayed", "batch_checks",
-                 "batch_legs", "cache_hits", "cache_misses")
+                 "rollbacks", "releases", "expiries", "incremental",
+                 "recoveries", "recoveries_verified", "replayed",
+                 "batch_checks", "batch_legs", "cache_hits", "cache_misses")
 
     def __init__(self, registry, switch: str):
         self.generation = _om._generation
@@ -120,6 +120,8 @@ class _SwitchMetrics:
         self.rollbacks = registry.counter("cac_rollbacks_total",
                                           switch=switch)
         self.releases = registry.counter("cac_releases_total", switch=switch)
+        self.expiries = registry.counter("cac_reservation_expiries_total",
+                                         switch=switch)
         self.incremental = registry.counter(
             "cac_incremental_updates_total", switch=switch)
         self.recoveries = registry.counter("cac_recoveries_total",
@@ -861,6 +863,28 @@ class SwitchCAC:
             self._rebind().rollbacks.inc()
             return leg
         return None
+
+    def expire(self, connection_id: str) -> Optional[Leg]:
+        """Discard a *pending* reservation whose hold timer ran out.
+
+        The switch-side half of the reservation TTL: a reservation whose
+        holder fell silent (the setup walk stalled, or its ABORT never
+        arrived) is discarded on the switch's own initiative once the
+        TTL elapses.  Only pending state is touched -- a reservation the
+        COMMIT wave already confirmed is a commitment and must survive
+        -- and an unknown id is a no-op, so a timer racing the walk's
+        own ABORT (or its commit) is always safe.  Journaled as an
+        ``abort``, exactly like an explicit unwind.
+        """
+        self._ensure_up()
+        leg = self._store.pop_pending(connection_id)
+        if leg is None:
+            return None
+        self._journal.append("abort", connection_id)
+        self._apply(leg.in_link, leg.out_link, leg.priority, leg.stream,
+                    add=False)
+        self._rebind().expiries.inc()
+        return leg
 
     def crash(self) -> None:
         """Simulate a node failure: volatile state lost, journal kept.

@@ -45,7 +45,7 @@ from ..robustness.faults import (
     FaultInjector,
 )
 from ..robustness.health import HealthMonitor
-from ..robustness.retry import ManualClock, RetryPolicy, retry_call
+from ..robustness.retry import ManualClock, RetryPolicy
 
 __all__ = [
     "SetupMessage",
@@ -61,6 +61,7 @@ __all__ = [
     "SignalingTrace",
     "SignalingChannel",
     "message_event_fields",
+    "drain_steps",
 ]
 
 T = TypeVar("T")
@@ -262,6 +263,23 @@ class _Lost(Exception):
     """Internal: no (timely) response to this delivery attempt."""
 
 
+def drain_steps(steps, clock):
+    """Run a step generator to completion against ``clock``.
+
+    Every yielded wait becomes one ``clock.advance``; the generator's
+    return value is returned, its exceptions propagate.  This is the
+    synchronous execution mode of the admission plane's state machines
+    -- the event-driven mode runs the very same generators via
+    :meth:`repro.sim.engine.Engine.process`, so both modes perform the
+    identical operation sequence by construction.
+    """
+    try:
+        while True:
+            clock.advance(next(steps))
+    except StopIteration as stop:
+        return stop.value
+
+
 class SignalingChannel:
     """Unreliable, retrying message transport for one CAC walk.
 
@@ -294,6 +312,13 @@ class SignalingChannel:
         Optional :class:`~repro.robustness.health.HealthMonitor` fed the
         same final outcomes, for both the link (kind ``"link"``) and the
         receiving node (kind ``"switch"``).
+    hop_latency:
+        Nominal per-direction transit time of one message over one hop.
+        Zero (the default) reproduces the instantaneous-exchange model;
+        a positive value makes every successful delivery cost one
+        ``hop_latency`` each way.  The sender is assumed to arm its
+        retransmit timer *knowing* the nominal RTT, so ``hop_timeout``
+        remains the silence budget beyond it.
 
     The sender cannot tell a dropped message from a dead link or a
     crashed switch -- every such attempt just looks like silence, costs
@@ -301,6 +326,15 @@ class SignalingChannel:
     which point :class:`~repro.exceptions.SignalingTimeout` is raised.
     A response that arrives *after* the timeout is processed late and
     retransmitted anyway, so receivers must be idempotent.
+
+    Every delivery is implemented as a *resumable step generator*
+    (:meth:`deliver_steps`): each elapse of simulated time -- transit,
+    timeout, backoff -- is a ``yield`` of that many time units.  The
+    synchronous :meth:`deliver` drains the generator against the
+    channel's own clock; the event-driven admission plane runs the very
+    same generator as an :meth:`Engine.process
+    <repro.sim.engine.Engine.process>`, which is what makes the two
+    execution modes produce identical operation sequences.
     """
 
     def __init__(self, injector: Optional[FaultInjector] = None,
@@ -311,14 +345,20 @@ class SignalingChannel:
                  trace: Optional[SignalingTrace] = None,
                  crash_switch: Optional[Callable[[str], None]] = None,
                  breakers: Optional[BreakerBoard] = None,
-                 health: Optional[HealthMonitor] = None):
+                 health: Optional[HealthMonitor] = None,
+                 hop_latency: float = 0.0):
         if hop_timeout <= 0:
             raise ValueError(f"hop_timeout must be positive, got {hop_timeout}")
+        if hop_latency < 0:
+            raise ValueError(
+                f"hop_latency must be non-negative, got {hop_latency}"
+            )
         self.injector = injector
         self.retry_policy = retry_policy or RetryPolicy()
         self.clock = clock or ManualClock()
         self.rng = rng or random.Random(0)
         self.hop_timeout = hop_timeout
+        self.hop_latency = hop_latency
         self.trace = trace
         self.crash_switch = crash_switch
         self.breakers = breakers
@@ -338,9 +378,13 @@ class SignalingChannel:
                 connection, at_node, phase, hop, kind, detail,
             ))
 
-    def _attempt(self, phase: str, hop: int, at_node: str, link: str,
-                 connection: str, process: Callable[[], T]) -> T:
-        """One delivery attempt; raises :class:`_Lost` on silence."""
+    def _attempt_steps(self, phase: str, hop: int, at_node: str, link: str,
+                       connection: str, process: Callable[[], T]):
+        """One delivery attempt as a step generator.
+
+        Yields every elapse of simulated time (transit, timeout);
+        raises :class:`_Lost` on silence; returns the response.
+        """
         specs = (self.injector.intercept(phase, hop, connection)
                  if self.injector is not None else [])
         lost = False
@@ -373,16 +417,19 @@ class SignalingChannel:
                                    "link-down", detail=link)
             lost = True
         if lost:
-            self.clock.advance(self.hop_timeout)
+            yield self.hop_timeout
             raise _Lost(f"no response from {at_node!r}")
+        if self.hop_latency > 0.0:
+            # Message transit down the link to the receiving switch.
+            yield self.hop_latency
         late = delay > self.hop_timeout
-        self.clock.advance(min(delay, self.hop_timeout))
+        yield min(delay, self.hop_timeout)
         try:
             result = process()
         except SwitchUnavailable as unavailable:
             # A dead switch answers nothing; the sender only sees the
             # timeout expire.
-            self.clock.advance(self.hop_timeout)
+            yield self.hop_timeout
             raise _Lost(str(unavailable)) from unavailable
         if duplicate:
             # The second copy of the message arrives right behind the
@@ -399,22 +446,20 @@ class SignalingChannel:
                 f"response from {at_node!r} arrived after {delay} > "
                 f"timeout {self.hop_timeout}"
             )
+        if self.hop_latency > 0.0:
+            # Response transit back to the sender.
+            yield self.hop_latency
         return result
 
-    def deliver(self, phase: str, hop: int, at_node: str, link: str,
-                connection: str, process: Callable[[], T]) -> T:
-        """Deliver one message, retrying per the policy.
+    def deliver_steps(self, phase: str, hop: int, at_node: str, link: str,
+                      connection: str, process: Callable[[], T]):
+        """Deliver one message as a resumable step generator.
 
-        ``process()`` applies the message at the receiving switch and
-        returns its response; protocol-level refusals (e.g.
-        :class:`~repro.exceptions.SwitchRejection`) propagate untouched
-        because a REJECT *is* a response.  Raises
-        :class:`~repro.exceptions.SignalingTimeout` once the retry
-        budget is exhausted.
-
-        With a breaker board attached, an *open* breaker on this hop
-        fast-fails the delivery instead: :class:`LinkDown` is raised
-        immediately, no timeout is spent and nothing is retransmitted.
+        The generator form of :meth:`deliver`: identical retry loop
+        (capped exponential backoff with full jitter, same RNG draw
+        order as :func:`repro.robustness.retry.retry_call`), but every
+        wait is a ``yield`` instead of a ``clock.advance``, so the same
+        exchange can run synchronously *or* as an engine process.
         """
         registry = self._registry
         breaker = self.breakers.breaker(at_node, link) \
@@ -437,17 +482,28 @@ class SignalingChannel:
                     connection, at_node, phase, hop, attempt, backoff,
                 ))
 
+        policy = self.retry_policy
         sent_at = self.clock.now()
         try:
-            result = retry_call(
-                lambda _attempt: self._attempt(
-                    phase, hop, at_node, link, connection, process),
-                policy=self.retry_policy,
-                clock=self.clock,
-                rng=self.rng,
-                retry_on=(_Lost,),
-                on_retry=on_retry,
-            )
+            # Inlined retry_call: the waits (backoffs, and the attempt's
+            # own timeouts) must be yields, which a callback cannot do.
+            attempt = 0
+            while True:
+                try:
+                    result = yield from self._attempt_steps(
+                        phase, hop, at_node, link, connection, process)
+                    break
+                except _Lost as exc:
+                    elapsed = self.clock.now() - sent_at
+                    if attempt + 1 >= policy.max_attempts:
+                        raise RetryExhausted(attempt + 1, elapsed) from exc
+                    backoff = policy.backoff_delay(attempt, self.rng)
+                    if (policy.deadline is not None
+                            and elapsed + backoff > policy.deadline):
+                        raise RetryExhausted(attempt + 1, elapsed) from exc
+                    on_retry(attempt + 1, backoff, exc)
+                    yield backoff
+                    attempt += 1
         except RetryExhausted as exhausted:
             if registry.enabled:
                 registry.counter("signaling_timeouts_total",
@@ -472,3 +528,24 @@ class SignalingChannel:
                 phase=phase,
             ).observe(self.clock.now() - sent_at)
         return result
+
+    def deliver(self, phase: str, hop: int, at_node: str, link: str,
+                connection: str, process: Callable[[], T]) -> T:
+        """Deliver one message, retrying per the policy.
+
+        ``process()`` applies the message at the receiving switch and
+        returns its response; protocol-level refusals (e.g.
+        :class:`~repro.exceptions.SwitchRejection`) propagate untouched
+        because a REJECT *is* a response.  Raises
+        :class:`~repro.exceptions.SignalingTimeout` once the retry
+        budget is exhausted.
+
+        With a breaker board attached, an *open* breaker on this hop
+        fast-fails the delivery instead: :class:`LinkDown` is raised
+        immediately, no timeout is spent and nothing is retransmitted.
+
+        Synchronous wrapper: drains :meth:`deliver_steps`, turning each
+        yielded wait into a ``clock.advance``.
+        """
+        return drain_steps(self.deliver_steps(
+            phase, hop, at_node, link, connection, process), self.clock)

@@ -36,7 +36,14 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from . import clock, events, export, metrics, spans
-from .clock import get_clock, set_clock
+from .clock import (
+    Clock,
+    EngineClock,
+    ManualClock,
+    SystemClock,
+    get_clock,
+    set_clock,
+)
 from .events import Event, EventBus, EventLog, get_bus, set_bus
 from .metrics import (
     Counter,
@@ -58,6 +65,7 @@ __all__ = [
     "Span", "Tracer", "NullTracer", "NULL_TRACER", "span",
     "get_tracer", "set_tracer",
     "Event", "EventBus", "EventLog", "get_bus", "set_bus",
+    "Clock", "SystemClock", "ManualClock", "EngineClock",
     "get_clock", "set_clock",
     "enable", "disable", "enabled",
 ]

@@ -73,6 +73,8 @@ METRIC_HELP: Dict[str, str] = {
         "Idempotent rollbacks that actually released state.",
     "cac_releases_total":
         "Committed legs torn down via release().",
+    "cac_reservation_expiries_total":
+        "Pending reservations discarded by the TTL hold timer.",
     "cac_cache_hits_total":
         "Derived-aggregate cache lookups served from cache.",
     "cac_cache_misses_total":

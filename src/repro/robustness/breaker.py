@@ -40,7 +40,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs import metrics as _om
-from .retry import ManualClock
+from ..obs.clock import Clock, ManualClock
 
 __all__ = ["CLOSED", "OPEN", "HALF_OPEN", "STATE_VALUES",
            "CircuitBreaker", "BreakerBoard"]
@@ -61,7 +61,7 @@ class CircuitBreaker:
     ``now() -> float`` source (the CAC's simulated clock).
     """
 
-    def __init__(self, node: str, link: str, clock,
+    def __init__(self, node: str, link: str, clock: Clock,
                  failure_threshold: int = 3,
                  reset_timeout: float = 64.0,
                  on_close: Optional[Callable[["CircuitBreaker"], None]]
@@ -170,7 +170,7 @@ class BreakerBoard:
     there once, at construction.
     """
 
-    def __init__(self, clock: Optional[ManualClock] = None,
+    def __init__(self, clock: Optional[Clock] = None,
                  failure_threshold: int = 3,
                  reset_timeout: float = 64.0,
                  on_close: Optional[Callable[[CircuitBreaker], None]]
@@ -180,6 +180,13 @@ class BreakerBoard:
         self.reset_timeout = reset_timeout
         self.on_close = on_close
         self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Swap the board's time source, including every breaker
+        already created (they hold a direct reference)."""
+        self.clock = clock
+        for breaker in self._breakers.values():
+            breaker.clock = clock
 
     def breaker(self, node: str, link: str) -> CircuitBreaker:
         """The breaker guarding deliveries over ``link`` into ``node``."""

@@ -21,9 +21,11 @@ after its last failure before a success is believed again, so a
 marginal link cannot whipsaw the breaker and migration machinery.
 
 Time comes from the injectable observability clock
-(:func:`repro.obs.clock.get_clock`) unless an explicit clock is passed,
-so whole detection schedules replay deterministically under a
-:class:`~repro.robustness.retry.ManualClock`.
+(:func:`repro.obs.clock.get_clock`) unless an explicit
+:class:`~repro.obs.clock.Clock` is passed, so whole detection schedules
+replay deterministically under a :class:`~repro.obs.clock.ManualClock`
+-- or tick on the shared simulation timeline under an
+:class:`~repro.obs.clock.EngineClock`.
 
 Detection *latency* -- the gap between the ground-truth failure instant
 and the monitor declaring the target down -- is an honest end-to-end
@@ -42,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs import clock as _oclock
 from ..obs import metrics as _om
+from ..obs.clock import Clock
 
 __all__ = ["UP", "SUSPECT", "DOWN", "TargetHealth", "HealthMonitor"]
 
@@ -92,7 +95,8 @@ class HealthMonitor:
     migration of the affected connections.
     """
 
-    def __init__(self, clock=None, suspicion_threshold: int = 3,
+    def __init__(self, clock: Optional[Clock] = None,
+                 suspicion_threshold: int = 3,
                  flap_window: float = 240.0, flap_threshold: int = 3,
                  hold_down: float = 60.0):
         if suspicion_threshold < 1:
@@ -119,6 +123,12 @@ class HealthMonitor:
         clock = self._clock if self._clock is not None \
             else _oclock.get_clock()
         return clock.now()
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Swap the time source (e.g. onto an
+        :class:`~repro.obs.clock.EngineClock` when the owning CAC moves
+        to the shared simulation timeline)."""
+        self._clock = clock
 
     def _record(self, target: str, kind: str) -> TargetHealth:
         record = self._targets.get(target)

@@ -8,7 +8,10 @@ sleeps ``uniform(0, min(cap, base * 2**n))``.
 
 Everything here is driven by an injectable clock and RNG so the
 schedule is deterministic under test and never actually sleeps --
-simulated time only advances on a :class:`ManualClock`.
+simulated time only advances on a :class:`ManualClock`.  The clock
+itself lives in :mod:`repro.obs.clock` (one :class:`~repro.obs.clock.Clock`
+protocol for the whole repo); :class:`ManualClock` is re-exported here
+so existing imports keep working.
 """
 
 from __future__ import annotations
@@ -18,36 +21,11 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from ..exceptions import RetryExhausted
+from ..obs.clock import ManualClock
 
 __all__ = ["ManualClock", "RetryPolicy", "retry_call"]
 
 T = TypeVar("T")
-
-
-class ManualClock:
-    """A monotonically advancing simulated clock.
-
-    The protocol machinery never sleeps; it *advances* this clock by the
-    backoff and timeout intervals it would have waited, which keeps
-    hundreds of randomized fault schedules fast and reproducible.
-    """
-
-    def __init__(self, start: float = 0.0):
-        self._now = float(start)
-
-    def now(self) -> float:
-        """Current simulated time."""
-        return self._now
-
-    def advance(self, delta: float) -> float:
-        """Move time forward; negative deltas are refused."""
-        if delta < 0:
-            raise ValueError(f"cannot advance the clock by {delta}")
-        self._now += delta
-        return self._now
-
-    def __repr__(self) -> str:
-        return f"ManualClock(now={self._now})"
 
 
 @dataclass(frozen=True)

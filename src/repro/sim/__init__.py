@@ -9,7 +9,7 @@ fails under jitter clumping).
 
 from .cell import Cell
 from .edf import EdfPort
-from .engine import Engine, EventHandle
+from .engine import Engine, EventHandle, ProcessHandle
 from .gcra import DualLeakyBucket, bucket_depth
 from .jitter import ClumpingJitter, FixedJitter
 from .metrics import ConnectionStats, Metrics
@@ -28,6 +28,7 @@ from .trace import CellJourney, CellTracer, JourneyEvent
 
 __all__ = [
     "Engine",
+    "ProcessHandle",
     "EventHandle",
     "Cell",
     "DualLeakyBucket",

@@ -29,7 +29,7 @@ from typing import Callable, Iterable, List, Optional, Tuple
 from ..exceptions import SimulationError
 from ..obs import metrics as _om
 
-__all__ = ["Engine", "EventHandle"]
+__all__ = ["Engine", "EventHandle", "ProcessHandle"]
 
 #: Compaction never triggers below this heap size: tiny heaps are cheap
 #: to carry and rebuilding them would cost more than it saves.
@@ -105,7 +105,17 @@ class Engine:
         return len(self._heap) - self._cancelled
 
     def schedule(self, time: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` to run at absolute time ``time``."""
+        """Schedule ``callback`` to run at absolute time ``time``.
+
+        ``time`` must be finite: a NaN timestamp would slip past the
+        into-the-past guard (every comparison with NaN is False) and
+        silently corrupt the heap ordering, and an infinite one could
+        never fire.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(
+                f"cannot schedule at non-finite time {time}"
+            )
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule into the past: {time} < now {self._now}"
@@ -135,6 +145,10 @@ class Engine:
         entries: List[Tuple[float, int, EventHandle]] = []
         handles: List[EventHandle] = []
         for time, callback in events:
+            if not math.isfinite(time):
+                raise SimulationError(
+                    f"cannot schedule at non-finite time {time}"
+                )
             if time < self._now:
                 raise SimulationError(
                     f"cannot schedule into the past: {time} < now {self._now}"
@@ -203,3 +217,102 @@ class Engine:
                       if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
+
+    # -- resumable processes -------------------------------------------
+
+    def process(self, steps,
+                on_done: Optional[Callable[["ProcessHandle"], None]] = None,
+                ) -> "ProcessHandle":
+        """Run a generator as a resumable process on this engine.
+
+        ``steps`` is a generator that *yields waits*: every yielded
+        value is a non-negative, finite delay in simulation time; the
+        process suspends and is resumed (as one scheduled event) once
+        the delay has elapsed.  ``yield 0.0`` reschedules at the current
+        instant behind already-queued events, so interleavings between
+        concurrent processes are fully determined by the engine's
+        (time, sequence) order.
+
+        The generator's ``return`` value lands in
+        :attr:`ProcessHandle.result`; an exception it raises is captured
+        in :attr:`ProcessHandle.error` (processes fail independently --
+        one walk dying must not tear down the whole simulation).
+        ``on_done(handle)`` fires exactly once, inside the event that
+        finished the process, however it ended.
+
+        This is the primitive the admission plane builds on: each
+        in-flight connection setup is one process whose per-hop message
+        exchanges, retransmit timers and backoff waits are the yields.
+        """
+        handle = ProcessHandle(self, steps, on_done)
+        handle._resume_event = self.schedule_in(0.0, handle._step)
+        return handle
+
+
+class ProcessHandle:
+    """A running :meth:`Engine.process`; inspect or cancel it.
+
+    Attributes
+    ----------
+    done:
+        True once the generator returned, raised, or was cancelled.
+    result:
+        The generator's return value (None until done / on error).
+    error:
+        The exception that ended the process, or None.
+    """
+
+    __slots__ = ("engine", "done", "result", "error",
+                 "_steps", "_on_done", "_resume_event")
+
+    def __init__(self, engine: Engine, steps,
+                 on_done: Optional[Callable[["ProcessHandle"], None]]):
+        self.engine = engine
+        self.done = False
+        self.result = None
+        self.error: Optional[BaseException] = None
+        self._steps = steps
+        self._on_done = on_done
+        self._resume_event: Optional[EventHandle] = None
+
+    def cancel(self) -> None:
+        """Stop a suspended process: closes the generator (its
+        ``finally`` blocks run now), drops the pending resume event and
+        completes the handle without a result.  Idempotent."""
+        if self.done:
+            return
+        if self._resume_event is not None:
+            self._resume_event.cancel()
+            self._resume_event = None
+        try:
+            self._steps.close()
+        finally:
+            self._finish()
+
+    def _step(self) -> None:
+        """One resume: advance the generator to its next wait."""
+        self._resume_event = None
+        try:
+            wait = next(self._steps)
+        except StopIteration as stop:
+            self.result = stop.value
+            self._finish()
+        except Exception as exc:
+            self.error = exc
+            self._finish()
+        else:
+            self._resume_event = self.engine.schedule_in(float(wait),
+                                                         self._step)
+
+    def _finish(self) -> None:
+        if self.done:
+            return
+        self.done = True
+        if self._on_done is not None:
+            self._on_done(self)
+
+    def __repr__(self) -> str:
+        state = ("done" if self.done and self.error is None
+                 else f"failed: {self.error!r}" if self.done
+                 else "running")
+        return f"ProcessHandle({state})"

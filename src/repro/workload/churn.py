@@ -40,6 +40,7 @@ from functools import partial
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.admission import NetworkCAC
+from ..core.plane import AdmissionPlane, SetupOutcome
 from ..core.traffic import VBRParameters, cbr
 from ..exceptions import AdmissionError, TrafficModelError
 from ..network.connection import ConnectionRequest
@@ -167,6 +168,20 @@ class ChurnEngine:
         Default warm-up trim (simulated time) for :meth:`report`.
     failures:
         The armed :class:`LinkFailure` plan.
+    setup_latency / reservation_ttl:
+        The nonzero-setup-time model.  When either is set the engine
+        switches to the event-driven admission plane
+        (:class:`~repro.core.plane.AdmissionPlane`): every arrival
+        *launches* its setup walk and the connection only starts its
+        holding time once the walk commits, ``setup_latency`` per hop
+        per message direction later -- so concurrent in-flight setups
+        contend for ports, phase-1 reservations are held under the TTL,
+        and blocking genuinely differs from the instantaneous model.
+        Both unset (the default) keeps the legacy synchronous path,
+        bit-identical to previous releases.  In plane mode
+        :meth:`run` settles still-in-flight walks after the event
+        budget is spent, and crankback route candidates are
+        materialized at the arrival instant.
 
     Examples
     --------
@@ -190,7 +205,9 @@ class ChurnEngine:
                  seed: int = 0,
                  policy: Optional[AdmissionPolicy] = None,
                  warmup: float = 0.0,
-                 failures: Sequence[LinkFailure] = ()):
+                 failures: Sequence[LinkFailure] = (),
+                 setup_latency: float = 0.0,
+                 reservation_ttl: Optional[float] = None):
         if not classes:
             raise TrafficModelError("churn needs at least one traffic class")
         if not pairs:
@@ -209,7 +226,18 @@ class ChurnEngine:
         self.policy = policy or FirstPathPolicy()
         self.warmup = warmup
         self.failures: Tuple[LinkFailure, ...] = tuple(failures)
+        if setup_latency < 0:
+            raise TrafficModelError(
+                f"setup_latency must be >= 0, got {setup_latency}"
+            )
         self.engine = Engine()
+        self.setup_latency = setup_latency
+        self.reservation_ttl = reservation_ttl
+        self._plane: Optional[AdmissionPlane] = None
+        if setup_latency > 0 or reservation_ttl is not None:
+            cac.hop_latency = setup_latency
+            self._plane = AdmissionPlane(cac, self.engine,
+                                         reservation_ttl=reservation_ttl)
         self.ledger: List[ChurnRecord] = []
         self._rng = random.Random(seed)
         self._sequence = 0
@@ -269,10 +297,29 @@ class ChurnEngine:
             if upcoming is None or upcoming > until:
                 break
             self.engine.run(until=upcoming)
+        if self._plane is not None:
+            # Let every walk already in flight run to completion:
+            # budget-exceeded churn events that fire meanwhile no-op.
+            self._settle()
         return self._events_fired - started
+
+    def _settle(self) -> None:
+        """Run the engine until no admission walk is in flight."""
+        while self._plane is not None and self._plane.in_flight:
+            upcoming = self.engine.peek_next_time()
+            if upcoming is None:
+                break
+            self.engine.run(until=upcoming)
 
     def drain(self) -> None:
         """Tear down every still-active connection (end-of-run cleanup)."""
+        if self._plane is not None:
+            for name, (_cls, handle) in sorted(self._active.items()):
+                handle.cancel()
+                self._plane.submit_teardown(name)
+            self._active.clear()
+            self._settle()
+            return
         for name, (_cls, handle) in sorted(self._active.items()):
             handle.cancel()
             try:
@@ -326,6 +373,14 @@ class ChurnEngine:
         )
         name = f"c{self._sequence:06d}"
         self._sequence += 1
+        if self._plane is not None:
+            registry = _om.get_registry()
+            if registry.enabled:
+                registry.counter("churn_arrivals_total", cls=cls.name).inc()
+            routes = list(self.policy.routes(self.cac, self.network,
+                                             src, dst))
+            self._launch_attempt(name, cls, routes, 0, holding)
+            return
         attempts = 0
         admitted: Tuple[str, ...] = ()
         for route in self.policy.routes(self.cac, self.network, src, dst):
@@ -360,20 +415,82 @@ class ChurnEngine:
             registry.gauge("churn_active_connections").set_max(
                 len(self._active))
 
+    def _launch_attempt(self, name: str, cls: TrafficClass,
+                        routes: Sequence, index: int,
+                        holding: float) -> None:
+        """Launch candidate route ``index`` of one arrival as a walk.
+
+        Crankback, asynchronously: an :class:`AdmissionError` outcome
+        launches the next candidate; success starts the holding time at
+        the *commit* instant (setup latency delays the connection, and
+        therefore every downstream departure).
+        """
+        if index >= len(routes):
+            self._record("arrival", name, cls.name, "blocked", len(routes))
+            self._count_outcome(cls.name, "blocked", len(routes))
+            return
+        route = routes[index]
+        request = ConnectionRequest(
+            name, cls.traffic, route, priority=cls.priority,
+            delay_bound=cls.delay_bound,
+        )
+
+        def done(outcome: SetupOutcome) -> None:
+            if outcome.admitted:
+                handle = self.engine.schedule_in(
+                    holding, partial(self._departure, name, cls.name))
+                self._active[name] = (cls.name, handle)
+                self._record("arrival", name, cls.name, "admitted",
+                             index + 1, route.link_names)
+                self._count_outcome(cls.name, "admitted", index + 1)
+            elif isinstance(outcome.error, AdmissionError):
+                self._launch_attempt(name, cls, routes, index + 1, holding)
+            else:
+                raise outcome.error  # a bug, not an admission verdict
+
+        self._plane.submit(request, on_done=done)
+
+    def _count_outcome(self, cls_name: str, outcome: str,
+                       attempts: int) -> None:
+        registry = _om.get_registry()
+        if registry.enabled:
+            registry.counter("churn_outcomes_total", cls=cls_name,
+                             outcome=outcome).inc()
+            if attempts > 1:
+                registry.counter("churn_retries_total",
+                                 cls=cls_name).inc(attempts - 1)
+            registry.gauge("churn_active_connections").set_max(
+                len(self._active))
+
     def _departure(self, name: str, cls_name: str) -> None:
         if self._events_fired >= self._budget:
             return
         self._events_fired += 1
         entry = self._active.pop(name, None)
         if entry is None:
-            outcome = "absent"     # dropped by a failure policy earlier
+            self._finish_departure(name, cls_name, "absent")
+            return
+        if self._plane is not None:
+            def done(process) -> None:
+                if process.error is not None and \
+                        not isinstance(process.error, AdmissionError):
+                    raise process.error
+                self._finish_departure(
+                    name, cls_name,
+                    "absent" if process.error is not None else "departed")
+
+            self._plane.submit_teardown(name, on_done=done)
+            return
+        try:
+            self.cac.teardown(name)
+        except AdmissionError:
+            outcome = "absent"
         else:
-            try:
-                self.cac.teardown(name)
-            except AdmissionError:
-                outcome = "absent"
-            else:
-                outcome = "departed"
+            outcome = "departed"
+        self._finish_departure(name, cls_name, outcome)
+
+    def _finish_departure(self, name: str, cls_name: str,
+                          outcome: str) -> None:
         self._record("departure", name, cls_name, outcome)
         registry = _om.get_registry()
         if registry.enabled:
@@ -384,8 +501,20 @@ class ChurnEngine:
         injector = self.cac.fault_injector
         if injector is not None:
             injector.fail_link(failure.link)
+        if self._plane is not None:
+            def done(process) -> None:
+                if process.error is not None:
+                    raise process.error
+                self._account_failure(failure, process.result)
+
+            self._plane.submit_link_failure(
+                failure.link, policy=failure.policy, on_done=done)
+            return
         report = self.cac.handle_link_failure(
             failure.link, policy=failure.policy)
+        self._account_failure(failure, report)
+
+    def _account_failure(self, failure: LinkFailure, report) -> None:
         # Victims the policy dropped are gone now: cancel their pending
         # departures and account the early end in the ledger so carried
         # load and utilization timelines stay exact.
@@ -468,6 +597,12 @@ class ChurnScenario:
     k: int = 2
     warmup_fraction: float = 0.1
     failures: Tuple[LinkFailure, ...] = ()
+    #: Per-hop per-direction signaling transit time; > 0 switches the
+    #: run onto the event-driven admission plane (in-flight setups).
+    setup_latency: float = 0.0
+    #: Phase-1 reservation hold time before switch-side expiry; only
+    #: meaningful with the admission plane active.
+    reservation_ttl: Optional[float] = None
 
     def arrival_rate(self) -> float:
         """The Poisson intensity hitting the offered-load target."""
@@ -512,7 +647,8 @@ def run_scenario(scenario: ChurnScenario) -> ChurnReport:
     network = scenario.build_network()
     injector = FaultInjector(FaultPlan([])) if scenario.failures else None
     cac = NetworkCAC(network, fault_injector=injector,
-                     rng=random.Random(scenario.seed))
+                     rng=random.Random(scenario.seed),
+                     hop_latency=scenario.setup_latency)
     engine = ChurnEngine(
         cac,
         [scenario.traffic_class()],
@@ -520,6 +656,8 @@ def run_scenario(scenario: ChurnScenario) -> ChurnReport:
         seed=scenario.seed,
         policy=make_policy(scenario.policy, scenario.k),
         failures=scenario.failures,
+        setup_latency=scenario.setup_latency,
+        reservation_ttl=scenario.reservation_ttl,
     )
     engine.run(max_events=scenario.events)
     return engine.report(warmup=engine.now * scenario.warmup_fraction)

@@ -204,6 +204,26 @@ class TestChurnCommand:
         assert build_parser().parse_args(["churn"]).seed == 0
         assert build_parser().parse_args(["chaos"]).seed == 0
 
+    def test_setup_latency_flags_reach_the_report(self, capsys):
+        import json
+        payload = json.loads(run(
+            capsys, "churn", "--loads", "1", "--events", "300",
+            "--nodes", "6", "--seed", "5",
+            "--setup-latency", "2", "--reservation-ttl", "40", "--json"))
+        assert payload["setup_latency"] == 2.0
+        assert payload["reservation_ttl"] == 40.0
+
+    def test_setup_latency_changes_the_trajectory(self, capsys):
+        import json
+        instant = json.loads(run(capsys, *self.ARGS, "--json"))
+        latent = json.loads(run(
+            capsys, *self.ARGS, "--setup-latency", "2",
+            "--reservation-ttl", "40", "--json"))
+        assert instant["setup_latency"] == 0.0
+        assert instant["reservation_ttl"] is None
+        assert [p["digests"] for p in latent["points"]] != \
+               [p["digests"] for p in instant["points"]]
+
 
 class TestObsCommand:
     def test_table_output(self, capsys):

@@ -52,6 +52,27 @@ class TestScheduling:
             Engine().schedule_in(-1.0, lambda: None)
 
 
+class TestNonFiniteGuards:
+    """NaN/inf event times corrupt the heap order silently; reject them."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_schedule_rejects_non_finite(self, bad):
+        with pytest.raises(SimulationError, match="finite"):
+            Engine().schedule(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_schedule_in_rejects_non_finite(self, bad):
+        with pytest.raises(SimulationError, match="finite"):
+            Engine().schedule_in(bad, lambda: None)
+
+    def test_schedule_many_rejects_non_finite(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="finite"):
+            engine.schedule_many([(1.0, lambda: None),
+                                  (float("nan"), lambda: None)])
+
+
 class TestRunControl:
     def test_until_horizon(self):
         engine = Engine()
@@ -211,3 +232,112 @@ class TestLazyCancelCompaction:
         assert engine.heap_size == 10
         engine.run()
         assert engine.events_processed == 0
+
+
+class TestProcess:
+    """Generators as resumable processes: the admission-plane primitive."""
+
+    def test_yields_become_waits(self):
+        engine = Engine()
+        ticks = []
+
+        def steps():
+            ticks.append(engine.now)
+            yield 2.0
+            ticks.append(engine.now)
+            yield 3.5
+            ticks.append(engine.now)
+
+        engine.process(steps())
+        engine.run()
+        assert ticks == [0.0, 2.0, 5.5]
+
+    def test_return_value_lands_in_result(self):
+        engine = Engine()
+        finished = []
+
+        def steps():
+            yield 1.0
+            return "committed"
+
+        handle = engine.process(steps(), on_done=finished.append)
+        assert not handle.done
+        engine.run()
+        assert handle.done
+        assert handle.result == "committed"
+        assert handle.error is None
+        assert finished == [handle]
+
+    def test_exceptions_are_captured_not_propagated(self):
+        engine = Engine()
+        survivor = []
+
+        def doomed():
+            yield 1.0
+            raise ValueError("walk rejected")
+
+        handle = engine.process(doomed())
+        engine.schedule(5.0, lambda: survivor.append(engine.now))
+        engine.run()                      # must not raise
+        assert handle.done
+        assert isinstance(handle.error, ValueError)
+        assert handle.result is None
+        assert survivor == [5.0], "one dead process stalled the engine"
+
+    def test_cancel_runs_finally_blocks(self):
+        engine = Engine()
+        cleaned = []
+
+        def steps():
+            try:
+                yield 10.0
+            finally:
+                cleaned.append(True)
+
+        handle = engine.process(steps())
+        engine.run(until=1.0)             # started, now suspended
+        handle.cancel()
+        handle.cancel()                   # idempotent
+        assert handle.done and cleaned == [True]
+        engine.run()
+        assert engine.now == 1.0          # resume event was dropped
+
+    def test_zero_yield_queues_behind_same_instant_events(self):
+        engine = Engine()
+        order = []
+
+        def steps():
+            order.append("start")
+            yield 0.0
+            order.append("resumed")
+
+        engine.process(steps())
+        engine.schedule(0.0, lambda: order.append("queued"))
+        engine.run()
+        # The process starts first (submitted first), but its zero-wait
+        # resume lands behind the already-queued same-instant event.
+        assert order == ["start", "queued", "resumed"]
+
+    def test_concurrent_processes_interleave_deterministically(self):
+        def run_once():
+            engine = Engine()
+            order = []
+
+            def walker(tag, wait):
+                for step in range(3):
+                    order.append((tag, engine.now))
+                    yield wait
+                return tag
+
+            a = engine.process(walker("a", 2.0))
+            b = engine.process(walker("b", 3.0))
+            engine.run()
+            return order, a.result, b.result
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+        order, result_a, result_b = first
+        assert (result_a, result_b) == ("a", "b")
+        assert order == [("a", 0.0), ("b", 0.0), ("a", 2.0), ("b", 3.0),
+                         ("a", 4.0), ("b", 6.0)]

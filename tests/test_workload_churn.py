@@ -205,6 +205,68 @@ class TestScenario:
             blocking_curve([1.0], ChurnScenario(), replications=0)
 
 
+class TestSetupLatency:
+    """Churn on the admission plane: nonzero signaling time matters."""
+
+    def scenario(self, **kw):
+        base = dict(RING, events=300, seed=11, offered_load=4.0,
+                    policy="first-path")
+        base.update(kw)
+        return ChurnScenario(**base)
+
+    def test_latency_measurably_changes_blocking(self):
+        # While a walk is in flight its phase-1 reservations hold
+        # capacity that instantaneous setups never would, so blocking
+        # under the same arrivals must move (upward, here).
+        instant = run_scenario(self.scenario())
+        latent = run_scenario(self.scenario(setup_latency=2.0,
+                                            reservation_ttl=40.0))
+        assert latent.ledger_digest != instant.ledger_digest
+        assert latent.blocking != instant.blocking
+        assert latent.blocking > instant.blocking
+
+    def test_latent_run_is_deterministic(self):
+        first = run_scenario(self.scenario(setup_latency=2.0,
+                                           reservation_ttl=40.0))
+        second = run_scenario(self.scenario(setup_latency=2.0,
+                                            reservation_ttl=40.0))
+        assert first.ledger_digest == second.ledger_digest
+        assert first.journal_digest == second.journal_digest
+        assert first.blocking == second.blocking
+
+    def test_ttl_shorter_than_the_walk_blocks_everything(self):
+        # At 5 time units per hop transit a dual-ring walk takes far
+        # longer than 40 units end to end, so every reservation expires
+        # before its commit arrives: the TTL is genuinely binding.
+        starved = run_scenario(self.scenario(setup_latency=5.0,
+                                             reservation_ttl=40.0))
+        assert starved.blocking == 1.0
+
+    def test_plane_mode_keeps_booking_safe(self):
+        scen = self.scenario(setup_latency=2.0, reservation_ttl=40.0)
+        net = scen.build_network()
+        cac = NetworkCAC(net, rng=random.Random(scen.seed),
+                         hop_latency=scen.setup_latency)
+        engine = ChurnEngine(
+            cac, [scen.traffic_class()], pairs=scen.build_pairs(net),
+            seed=scen.seed, policy=make_policy(scen.policy, scen.k),
+            setup_latency=scen.setup_latency,
+            reservation_ttl=scen.reservation_ttl,
+        )
+        engine.run(max_events=scen.events)
+        assert no_double_booking(cac)
+        for switch in cac.switches().values():
+            assert switch.verify_consistency()
+            assert not switch.pending
+
+    def test_negative_latency_rejected(self):
+        net = star_network(2, bounds={0: 32})
+        cls = TrafficClass("cbr", cbr(0.1), 0.01, 100.0)
+        with pytest.raises(TrafficModelError, match="setup_latency"):
+            ChurnEngine(NetworkCAC(net), [cls], pairs=[("t0", "t1")],
+                        setup_latency=-1.0)
+
+
 class TestEquivalence:
     def curve(self, jobs):
         scenario = ChurnScenario(
