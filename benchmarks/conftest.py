@@ -16,6 +16,7 @@ is embedded in the artifact under ``"obs"``, so every recorded number
 carries the execution-path evidence behind it.
 """
 
+import datetime
 import json
 import os
 import pathlib
@@ -35,6 +36,17 @@ SEED_BASELINE_NS = {
 }
 
 _ARTIFACT = pathlib.Path(__file__).parent / "BENCH_core_ops.json"
+
+#: Bench modules that publish a module-level ``RESULTS`` dict, and the
+#: artifact section each one owns.  Sections whose module did not run
+#: this session are left untouched in the artifact (a partial run must
+#: never drop the other families' numbers).
+_RESULT_SECTIONS = {
+    "test_bench_parallel": "parallel",
+    "test_bench_churn": "churn",
+    "test_bench_setup_latency": "admission_plane",
+    "test_bench_fast_path": "fast_path",
+}
 
 
 def pytest_sessionstart(session):
@@ -102,27 +114,29 @@ def pytest_sessionfinish(session, exitstatus):
             entry["speedup_vs_seed"] = round(seed / entry["median_ns"], 2)
         ops[name] = entry
     core_ran = any(name in SEED_BASELINE_NS for name in ops)
-    parallel_module = sys.modules.get("test_bench_parallel")
-    parallel_results = dict(getattr(parallel_module, "RESULTS", {}) or {}) \
-        if parallel_module else {}
-    churn_module = sys.modules.get("test_bench_churn")
-    churn_results = dict(getattr(churn_module, "RESULTS", {}) or {}) \
-        if churn_module else {}
-    plane_module = sys.modules.get("test_bench_setup_latency")
-    plane_results = dict(getattr(plane_module, "RESULTS", {}) or {}) \
-        if plane_module else {}
-    if not core_ran and not parallel_results and not churn_results \
-            and not plane_results:
+    sections = {}
+    for module_name, section in _RESULT_SECTIONS.items():
+        module = sys.modules.get(module_name)
+        results = dict(getattr(module, "RESULTS", {}) or {}) if module else {}
+        if results:
+            sections[section] = results
+    if not core_ran and not sections:
         return  # no bench family ran; keep the last artifact
-    # Partial runs (only core-ops, or only the parallel benches) merge
-    # into the existing artifact instead of clobbering the other half.
+    # Partial runs (only core-ops, or only one RESULTS family) merge
+    # into the existing artifact instead of clobbering the other
+    # sections; each updated section is stamped so the artifact records
+    # when every number was last measured.
     artifact = {}
     if _ARTIFACT.exists():
         try:
             artifact = json.loads(_ARTIFACT.read_text())
         except ValueError:
             artifact = {}
+    stamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds")
+    recorded = artifact.setdefault("recorded_at", {})
     if core_ran:
+        recorded["ops"] = stamp
         module = sys.modules.get("test_bench_core_ops")
         sizes = getattr(module, "STREAM_SIZES", None) if module else None
         artifact["unit"] = "ns"
@@ -146,18 +160,9 @@ def pytest_sessionfinish(session, exitstatus):
         obs_summary = _obs_summary()
         if obs_summary is not None:
             artifact["obs"] = obs_summary
-    if parallel_results:
-        # serial vs fanned wall-clock per scenario, plus the determinism
-        # verdict (see test_bench_parallel).
-        artifact["parallel"] = dict(sorted(parallel_results.items()))
-    if churn_results:
-        # dynamic-traffic throughput and the first-path vs k-alternate
-        # blocking comparison (see test_bench_churn).
-        artifact["churn"] = dict(sorted(churn_results.items()))
-    if plane_results:
-        # engine-driven vs synchronous setup throughput and plane-mode
-        # churn under setup latency (see test_bench_setup_latency).
-        artifact["admission_plane"] = dict(sorted(plane_results.items()))
+    for section, results in sections.items():
+        artifact[section] = dict(sorted(results.items()))
+        recorded[section] = stamp
     _ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
 
 

@@ -14,6 +14,7 @@ Installed as ``repro-eval`` (or run as ``python -m repro.cli``):
    repro-eval chaos --link ring0->ring1 --policy migrate-or-drop
    repro-eval obs --prom           # instrumented plant-mix run, metrics dump
    repro-eval churn --loads 0.5 2 4 --policy k-alternate --seed 7
+   repro-eval profile --events 800 --json   # where does admission time go?
    repro-eval --csv fig10          # machine-readable output
    repro-eval --jobs 4 fig11       # fan scenarios across 4 worker processes
    repro-eval --jobs 0 fig13       # ... or every available core
@@ -182,6 +183,35 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--json", action="store_true",
                        help="emit the curve as a JSON document instead "
                             "of a table (the CI artifact format)")
+
+    profile = sub.add_parser(
+        "profile", help="cProfile a seeded churn run; where does admission "
+                        "time go?")
+    profile.add_argument("--events", type=int, default=800,
+                         help="hard churn-event budget of the profiled run")
+    profile.add_argument("--seed", type=int, default=11,
+                         help="churn seed (equal seeds profile the exact "
+                              "same run)")
+    profile.add_argument("--load", type=float, default=4.0,
+                         help="offered load (normalized bandwidth demand)")
+    profile.add_argument("--topology", choices=["star", "dual-ring"],
+                         default="dual-ring")
+    profile.add_argument("--nodes", type=int, default=6,
+                         help="terminals (star) or ring nodes (dual-ring)")
+    profile.add_argument("--setup-latency", type=float, default=2.0,
+                         help="per-hop signaling transit time; > 0 profiles "
+                              "the event-driven admission plane")
+    profile.add_argument("--reservation-ttl", type=float, default=40.0,
+                         help="phase-1 reservation hold time (cell times)")
+    profile.add_argument("--fast-path", choices=["on", "off", "auto"],
+                         default="auto",
+                         help="force the screened (on) or exact (off) "
+                              "admission path; auto defers to CAC_FAST_PATH")
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows of the cumulative-time table to keep")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the profile as a JSON document (the CI "
+                              "artifact format)")
 
     obs_cmd = sub.add_parser(
         "obs", help="run the Table 1 plant mix instrumented; dump metrics")
@@ -429,6 +459,77 @@ def _run_churn(args) -> None:
           f"({args.policy}, {args.topology}, seed {args.seed})")
 
 
+def _run_profile(args) -> None:
+    import cProfile
+    import json
+    import pstats
+    import time
+
+    from .workload.churn import ChurnScenario, run_scenario
+
+    fast_path = {"on": True, "off": False, "auto": None}[args.fast_path]
+    scenario = ChurnScenario(
+        topology=args.topology, nodes=args.nodes, bound=48.0, rate=0.15,
+        offered_load=args.load, events=args.events, seed=args.seed, k=2,
+        setup_latency=args.setup_latency,
+        reservation_ttl=args.reservation_ttl, fast_path=fast_path,
+    )
+    run_scenario(scenario)          # warm-up run stays outside the profile
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    run_scenario(scenario)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+    events_per_sec = args.events / elapsed if elapsed > 0 else float("inf")
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    top = []
+    for key in stats.fcn_list:                  # already cumulative-sorted
+        filename, line, function = key
+        if filename.startswith("~") or "cProfile" in filename:
+            continue                            # profiler bookkeeping frames
+        _cc, ncalls, tottime, cumtime, _callers = stats.stats[key]
+        top.append({
+            "function": function,
+            "file": filename,
+            "line": line,
+            "ncalls": ncalls,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        })
+        if len(top) >= args.top:
+            break
+
+    if args.json:
+        print(json.dumps({
+            "topology": args.topology,
+            "nodes": args.nodes,
+            "events": args.events,
+            "seed": args.seed,
+            "offered_load": args.load,
+            "setup_latency": args.setup_latency,
+            "reservation_ttl": args.reservation_ttl,
+            "fast_path": args.fast_path,
+            "elapsed_s": round(elapsed, 6),
+            "events_per_sec": round(events_per_sec, 1),
+            "top": top,
+        }, indent=2))
+        return
+    rows = [
+        [entry["function"],
+         f"{entry['file'].rsplit('/', 1)[-1]}:{entry['line']}",
+         entry["ncalls"], round(entry["tottime_s"], 4),
+         round(entry["cumtime_s"], 4)]
+        for entry in top
+    ]
+    _emit(args, ["function", "where", "ncalls", "tottime_s", "cumtime_s"],
+          rows,
+          f"Profile: {args.events} churn events in {elapsed:.2f}s "
+          f"({events_per_sec:.0f} events/s, fast path {args.fast_path})")
+
+
 _RUNNERS = {
     "table1": _run_table1,
     "fig10": _run_fig10,
@@ -440,6 +541,7 @@ _RUNNERS = {
     "chaos": _run_chaos,
     "obs": _run_obs,
     "churn": _run_churn,
+    "profile": _run_profile,
 }
 
 

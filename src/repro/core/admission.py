@@ -155,6 +155,12 @@ class NetworkCAC:
         :class:`SwitchCAC` should use (e.g.
         ``lambda name: ShardedAdmissionStore(8)``); ``None`` gives
         every switch the default in-memory store.
+    fast_path:
+        Forwarded to every switch: whether admission checks consult the
+        incremental headroom-ledger screen before falling through to
+        the exact delay-bound evaluation (decision-identical either
+        way; see ``docs/performance.md``).  ``None`` defers to the
+        ``CAC_FAST_PATH`` environment switch.
     breaker_threshold / breaker_reset_timeout:
         Circuit-breaker tuning: consecutive delivery failures that trip
         a hop's breaker open, and how long (simulated time) the breaker
@@ -198,7 +204,8 @@ class NetworkCAC:
                  breaker_threshold: int = 3,
                  breaker_reset_timeout: float = 64.0,
                  suspicion_threshold: int = 3,
-                 hop_latency: float = 0.0):
+                 hop_latency: float = 0.0,
+                 fast_path: Optional[bool] = None):
         self.network = network
         self.cdv_policy = make_policy(cdv_policy)
         self.filter_per_input = filter_per_input
@@ -230,6 +237,7 @@ class NetworkCAC:
             cac = SwitchCAC(
                 switch.name, filter_per_input=filter_per_input,
                 store=store_factory(switch.name) if store_factory else None,
+                fast_path=fast_path,
             )
             for link in network.out_links(switch.name):
                 if link.bounds:

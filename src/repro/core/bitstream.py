@@ -344,6 +344,23 @@ class BitStream:
             return merge_fast(mine, theirs, subtract=True)
         return _merge(self, other, lambda a, b: a - b)
 
+    def patched(self, old: "BitStream", new: "BitStream") -> "BitStream":
+        """``self - old + new``: swap one component of an aggregate.
+
+        The cache-patch form of Algorithms 3.2/3.3 -- how the
+        incremental admission caches replace one input's contribution
+        without re-aggregating.  On the kernel path the three streams
+        are combined over a single breakpoint union (one pass, no
+        intermediate canonicalization) with the same per-point
+        ``(a - b) + c`` arithmetic as the two pairwise merges.
+        """
+        kernels = (self.kernel, old.kernel, new.kernel)
+        if all(kernel is not None for kernel in kernels):
+            from .kernels import patch_fast
+            return patch_fast(*kernels)
+        return _merge(_merge(self, old, lambda a, b: a - b), new,
+                      lambda a, b: a + b)
+
     def scaled(self, factor: Number) -> "BitStream":
         """The multiplex of ``factor`` identical copies of this stream.
 
@@ -441,6 +458,36 @@ class BitStream:
                 total += rate * (self._times[index + 1] - start)
         # A(t) - C t is piecewise linear; its maximum over [0, inf) is at a
         # breakpoint because the slope r(k) - C only decreases with k.
+        return best
+
+    @property
+    def burst(self) -> Number:
+        """Burst allowance ``sigma`` of the ``(sigma, rho)`` envelope.
+
+        The smallest ``sigma`` with ``A(t) <= sigma + long_run_rate * t``
+        for all ``t``: the maximum of the piecewise-linear
+        ``A(t) - rho * t``, attained at a breakpoint because the slope
+        ``r(k) - rho`` is non-increasing.  Together with
+        ``rho = long_run_rate`` this is the pessimistic affine envelope
+        the admission fast path sums into its headroom ledger (see
+        ``docs/performance.md``); it is sub-additive under multiplexing
+        and non-increasing under filtering, which is what makes the
+        ledger sums conservative.
+
+        The maximum is taken over *all* breakpoints (not just the last)
+        so that streams canonicalized under ``_RATE_TOLERANCE`` -- whose
+        rate function may rise by up to the tolerance -- still get a
+        valid envelope.
+        """
+        rho = self._rates[-1]
+        best: Number = 0
+        total: Number = 0
+        for index, start in enumerate(self._times):
+            if index > 0:
+                total += self._rates[index - 1] * (start - self._times[index - 1])
+            excess = total - rho * start
+            if excess > best:
+                best = excess
         return best
 
     def busy_period(self, capacity: Number = 1) -> Number:

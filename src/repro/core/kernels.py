@@ -280,6 +280,26 @@ def aggregate_fast(kernels: List[StreamKernel]):
     return _finish_stream(rates, times)
 
 
+def patch_fast(base: StreamKernel, old: StreamKernel, new: StreamKernel):
+    """``base - old + new`` over one breakpoint union.
+
+    The cache-patch operation behind every incremental ``Soa`` /
+    ``higher_sum`` update and every ``soa(replace=...)`` substitution.
+    Point-wise it evaluates the same left-to-right ``(a - b) + c`` the
+    two pairwise merges would, but the union is built once and no
+    intermediate stream is canonicalized or allocated -- one pass
+    instead of two on the hottest admission path.
+    """
+    times = np.union1d(np.union1d(base.times, old.times), new.times)
+    rates = (base.rates[np.searchsorted(base.times, times,
+                                        side="right") - 1]
+             - old.rates[np.searchsorted(old.times, times,
+                                         side="right") - 1]
+             + new.rates[np.searchsorted(new.times, times,
+                                         side="right") - 1])
+    return _finish_stream(rates, times)
+
+
 def merge_fast(first: StreamKernel, second: StreamKernel, subtract: bool):
     """Pairwise Algorithms 3.2/3.3 on the breakpoint union.
 

@@ -53,7 +53,7 @@ from .admission import NetworkCAC
 __all__ = ["AdmissionPlane", "SetupOutcome"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SetupOutcome:
     """Final result of one submitted setup walk.
 

@@ -79,7 +79,9 @@ class PortState:
     __slots__ = ("out_link", "priority", "advertised_bound",
                  "filter_per_input", "higher_ports", "on_cache",
                  "_sia", "_sif", "_soa", "_higher", "_sif_higher",
-                 "_higher_sum", "_sof", "_service")
+                 "_higher_sum", "_sof", "_service",
+                 "ledger_rate", "ledger_burst",
+                 "ledger_higher_rate", "ledger_higher_burst")
 
     def __init__(self, out_link: str, priority: int,
                  advertised_bound: Number,
@@ -108,6 +110,13 @@ class PortState:
         self._sof: Optional[BitStream] = None
         #: memoized ServiceCurve of Sof(j)(p).
         self._service: Optional[ServiceCurve] = None
+        #: Headroom ledger (admission fast path): running sums of the
+        #: per-leg ``(sigma, rho)`` envelopes at this priority ...
+        self.ledger_rate: Number = 0
+        self.ledger_burst: Number = 0
+        #: ... and of the strictly-higher-priority legs on this out_link.
+        self.ledger_higher_rate: Number = 0
+        self.ledger_higher_burst: Number = 0
 
     # ------------------------------------------------------------------
     # Plain accessors
@@ -226,7 +235,7 @@ class PortState:
         if replace is None:
             return base
         in_link, replacement = replace
-        return base - self.sif(in_link) + replacement
+        return base.patched(self.sif(in_link), replacement)
 
     def soa_with(self, replacements: Mapping[str, BitStream]) -> BitStream:
         """``S'oa`` with several per-input aggregates substituted at once.
@@ -238,7 +247,7 @@ class PortState:
         """
         base = self.soa()
         for in_link in sorted(replacements):
-            base = base - self.sif(in_link) + replacements[in_link]
+            base = base.patched(self.sif(in_link), replacements[in_link])
         return base
 
     def sof_higher(self, extra: Optional[Tuple[str, BitStream]] = None,
@@ -273,8 +282,8 @@ class PortState:
         total = self.higher_sum()
         for in_link in sorted(extras):
             combined = self.higher_sia(in_link) + extras[in_link]
-            total = (total - self.sif_higher(in_link)
-                     + self._filter(combined))
+            total = total.patched(self.sif_higher(in_link),
+                                  self._filter(combined))
         return total.filtered()
 
     def service(self) -> ServiceCurve:
@@ -306,8 +315,26 @@ class PortState:
         but the derived caches are *invalidated* instead of patched.
         A batch touching a port many times pays one lazy rebuild at the
         next check instead of one patch per leg.
+
+        The headroom ledger is patched in *both* modes: its entries are
+        plain scalar running sums (one add/sub per delta), so there is
+        nothing to gain from deferring them, and the admission screen
+        must see current values even mid-batch.
         """
+        sign = 1 if add else -1
+        self.ledger_rate = self.ledger_rate + sign * stream.long_run_rate
+        self.ledger_burst = self.ledger_burst + sign * stream.burst
         old_sia = self.sia(in_link)
+        if patch_caches and self._soa is None:
+            # Build the missing Soa cache *now*, from the pre-change
+            # state, rather than at the next read.  Patched float caches
+            # must be a function of the mutation sequence alone: if the
+            # rebuild point depended on when a check happened to read
+            # the cache, the screened fast path (which skips reads that
+            # the exact path performs) would accumulate ulp-different
+            # sums and could flip a razor-edge decision.
+            self.on_cache(False, "soa")
+            self._soa = aggregate([self.sif(i) for i in sorted(self._sia)])
         new_sia = (old_sia + stream) if add else (old_sia - stream)
         if new_sia.is_zero:
             self._sia.pop(in_link, None)
@@ -320,10 +347,9 @@ class PortState:
         old_sif = self._sif.get(in_link)
         new_sif = self._filter(new_sia)
         self._sif[in_link] = new_sif
-        if self._soa is not None:
-            if old_sif is None:
-                old_sif = self._filter(old_sia)
-            self._soa = self._soa - old_sif + new_sif
+        if old_sif is None:
+            old_sif = self._filter(old_sia)
+        self._soa = self._soa.patched(old_sif, new_sif)
 
     def apply_higher(self, in_link: str, stream: BitStream,
                      add: bool, patch_caches: bool = True) -> None:
@@ -338,7 +364,14 @@ class PortState:
 
         ``patch_caches=False`` (bulk-apply mode) drops the affected
         cache entries instead of patching them; see :meth:`apply_same`.
+        The higher-priority headroom ledger is patched in both modes
+        (scalar running sums, see :meth:`apply_same`).
         """
+        sign = 1 if add else -1
+        self.ledger_higher_rate = (self.ledger_higher_rate
+                                   + sign * stream.long_run_rate)
+        self.ledger_higher_burst = (self.ledger_higher_burst
+                                    + sign * stream.burst)
         if not patch_caches:
             self._higher.pop(in_link, None)
             self._sif_higher.pop(in_link, None)
@@ -346,24 +379,25 @@ class PortState:
             self._sof = None
             self._service = None
             return
+        # Force the missing caches into existence *now*, from the
+        # pre-change aggregates, so the running float sums are a
+        # function of the mutation sequence alone (never of when an
+        # admission check first read them -- the screened fast path
+        # skips reads the exact path performs, and a read-timed build
+        # would let the two accumulate ulp-different interference).
+        if self._higher_sum is None:
+            self.higher_sum()
         previous = self._higher.get(in_link)
-        if previous is None and self._higher_sum is not None:
-            # Force the per-pair aggregate into existence so the
-            # cached sum can be patched rather than dropped.
+        if previous is None:
             previous = self.higher_sia(in_link)
-        if previous is not None:
-            patched = (previous + stream) if add else (previous - stream)
-            self._higher[in_link] = patched
-            old_hf = self._sif_higher.pop(in_link, None)
-            if self._higher_sum is not None:
-                if old_hf is None:
-                    old_hf = self._filter(previous)
-                new_hf = self._filter(patched)
-                self._sif_higher[in_link] = new_hf
-                self._higher_sum = self._higher_sum - old_hf + new_hf
-        else:
-            self._sif_higher.pop(in_link, None)
-            self._higher_sum = None
+        patched = (previous + stream) if add else (previous - stream)
+        self._higher[in_link] = patched
+        old_hf = self._sif_higher.pop(in_link, None)
+        if old_hf is None:
+            old_hf = self._filter(previous)
+        new_hf = self._filter(patched)
+        self._sif_higher[in_link] = new_hf
+        self._higher_sum = self._higher_sum.patched(old_hf, new_hf)
         self._sof = None
         self._service = None
 
@@ -381,6 +415,10 @@ class PortState:
         self._higher_sum = None
         self._sof = None
         self._service = None
+        self.ledger_rate = 0
+        self.ledger_burst = 0
+        self.ledger_higher_rate = 0
+        self.ledger_higher_burst = 0
 
     def verify_against(self, fresh: Mapping[Tuple[str, str, int], BitStream],
                        tolerance: float = 1e-9) -> bool:
@@ -423,6 +461,32 @@ class PortState:
             ])
             if not self._higher_sum.approx_equal(expected, tolerance):
                 return False
+        # Headroom ledger: the rate sums must match the ground truth
+        # (long-run rates add exactly under multiplexing); the burst
+        # sums are per-leg and hence only *conservative* for the
+        # aggregates (sigma is sub-additive), so they are checked as a
+        # one-sided bound.
+        same_rate: Number = 0
+        same_burst: Number = 0
+        higher_rate: Number = 0
+        higher_burst: Number = 0
+        for (_i2, j2, q), stream in fresh.items():
+            if j2 != j:
+                continue
+            if q == p:
+                same_rate += stream.long_run_rate
+                same_burst += stream.burst
+            elif q < p:
+                higher_rate += stream.long_run_rate
+                higher_burst += stream.burst
+        if abs(self.ledger_rate - same_rate) > tolerance:
+            return False
+        if abs(self.ledger_higher_rate - higher_rate) > tolerance:
+            return False
+        if self.ledger_burst + tolerance < same_burst:
+            return False
+        if self.ledger_higher_burst + tolerance < higher_burst:
+            return False
         return True
 
     def __repr__(self) -> str:

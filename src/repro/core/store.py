@@ -59,7 +59,18 @@ class AdmissionStore(ABC):
       bit-identical replay;
     * committed/pending legs iterate in insertion order (ground-truth
       rebuilds sum streams in admission order).
+
+    The base class also owns the *in-link rate ledger*: a running sum of
+    the admitted long-run rate entering via each incoming link, patched
+    by the same deltas as the port aggregates.  It is the single source
+    of truth behind ``SwitchCAC.in_link_utilization`` -- shared by the
+    exact path and the admission fast path, so the two can never
+    disagree on in-link feasibility.
     """
+
+    def __init__(self) -> None:
+        #: admitted long-run rate per incoming link (exact + fast path).
+        self._in_link_rate: Dict[str, Number] = {}
 
     # -- port configuration and access ---------------------------------
 
@@ -162,11 +173,18 @@ class AdmissionStore(ABC):
         still runs per leg in order, but derived caches are dropped
         rather than patched (see :meth:`PortState.apply_same`).
         """
+        rate = stream.long_run_rate
+        base = self._in_link_rate.get(in_link, 0)
+        self._in_link_rate[in_link] = (base + rate) if add else (base - rate)
         for lower in self.ports_below(out_link, priority):
             lower.apply_higher(in_link, stream, add,
                                patch_caches=patch_caches)
         self.port(out_link, priority).apply_same(in_link, stream, add,
                                                  patch_caches=patch_caches)
+
+    def in_link_rate(self, in_link: str) -> Number:
+        """Total admitted long-run rate entering via one incoming link."""
+        return self._in_link_rate.get(in_link, 0)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -212,6 +230,7 @@ class InMemoryAdmissionStore(AdmissionStore):
     """The default backend: plain in-process dictionaries."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._bounds: Dict[str, Dict[int, Number]] = {}
         self._ports: Dict[Tuple[str, int], PortState] = {}
         self._committed: Dict[str, Any] = {}
@@ -316,6 +335,7 @@ class InMemoryAdmissionStore(AdmissionStore):
         self._committed.clear()
         self._pending.clear()
         self._pending_results.clear()
+        self._in_link_rate.clear()
         for port in self._ports.values():
             port.clear()
 
@@ -349,6 +369,7 @@ class ShardedAdmissionStore(AdmissionStore):
     """
 
     def __init__(self, shard_count: int = 4):
+        super().__init__()
         if shard_count < 1:
             raise ValueError(
                 f"shard_count must be >= 1, got {shard_count}"
@@ -482,6 +503,7 @@ class ShardedAdmissionStore(AdmissionStore):
         for shard in self._shards:
             shard.clear_volatile()
         self._leg_shard.clear()
+        self._in_link_rate.clear()
 
     def __repr__(self) -> str:
         return (

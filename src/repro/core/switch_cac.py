@@ -68,6 +68,7 @@ applies a pre-approved leg without re-running the per-leg check.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -77,7 +78,8 @@ from ..obs import metrics as _om
 from ..obs import spans as _ospans
 from ..robustness.journal import AdmissionJournal
 from .bitstream import BitStream, Number, ZERO_STREAM, aggregate
-from .delay_bound import backlog_bound_with_higher, delay_bound
+from .delay_bound import (backlog_bound_with_higher, delay_bound,
+                          latency_rate_bound)
 from .port_state import PortState
 from .store import AdmissionStore, InMemoryAdmissionStore
 
@@ -87,6 +89,25 @@ __all__ = ["SwitchCAC", "Leg", "CheckResult", "BatchCheckResult",
 #: Derived-aggregate caches whose hit/miss behaviour is observable.
 _CACHES = ("sif", "higher", "sif_higher", "higher_sum", "soa", "sof",
            "service")
+
+#: Screen outcomes counted under ``cac_screen_total``.
+_SCREEN_OUTCOMES = ("accept", "reject", "exact")
+
+#: Slack the headroom screen demands before trusting the ledger: the
+#: sufficient-accept bound must clear the advertised bound by at least
+#: this relative margin, and the necessary-reject rate ceiling must be
+#: exceeded by at least this absolute margin.  The guard dominates any
+#: float drift the +/- ledger patching can accumulate (the same 1e-9
+#: scale :meth:`SwitchCAC.verify_consistency` tolerates), so drift can
+#: only push a check toward the exact fallthrough -- never flip a
+#: decision.
+_SCREEN_GUARD = 1e-9
+
+
+def _fast_path_default() -> bool:
+    """The ``CAC_FAST_PATH`` environment switch (on unless disabled)."""
+    flag = os.environ.get("CAC_FAST_PATH", "on").strip().lower()
+    return flag not in ("0", "off", "false", "no")
 
 
 class _SwitchMetrics:
@@ -104,7 +125,8 @@ class _SwitchMetrics:
                  "check_seconds", "admits", "reserves", "commits",
                  "rollbacks", "releases", "expiries", "incremental",
                  "recoveries", "recoveries_verified", "replayed",
-                 "batch_checks", "batch_legs", "cache_hits", "cache_misses")
+                 "batch_checks", "batch_legs", "cache_hits", "cache_misses",
+                 "screen")
 
     def __init__(self, registry, switch: str):
         self.generation = _om._generation
@@ -144,9 +166,14 @@ class _SwitchMetrics:
                                     cache=cache)
             for cache in _CACHES
         }
+        self.screen = {
+            outcome: registry.counter("cac_screen_total", switch=switch,
+                                      outcome=outcome)
+            for outcome in _SCREEN_OUTCOMES
+        }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Leg:
     """One connection's traversal of one switch.
 
@@ -172,7 +199,7 @@ class Leg:
     stream: BitStream
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PriorityBoundViolation:
     """One failed delay-bound check inside a :class:`CheckResult`."""
 
@@ -181,7 +208,7 @@ class PriorityBoundViolation:
     advertised_bound: Number
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CheckResult:
     """Outcome of a CAC check at one switch.
 
@@ -203,7 +230,7 @@ class CheckResult:
         return not self.violations
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchCheckResult:
     """Outcome of one :meth:`SwitchCAC.check_batch` group check.
 
@@ -246,6 +273,15 @@ class SwitchCAC:
         every port's :class:`~repro.core.port_state.PortState` and the
         two-phase leg maps; defaults to a fresh
         :class:`~repro.core.store.InMemoryAdmissionStore`.
+    fast_path:
+        Whether :meth:`check`/:meth:`check_batch` consult the headroom
+        ledger screen before falling through to the exact
+        :func:`~repro.core.delay_bound.delay_bound` evaluation.  The
+        screen is decision-identical to the exact path (both of its
+        bounds are provably conservative; see ``docs/performance.md``).
+        ``None`` (the default) follows the ``CAC_FAST_PATH``
+        environment switch, which is on unless set to ``off``/``0``/
+        ``false``/``no``.
 
     Examples
     --------
@@ -260,9 +296,13 @@ class SwitchCAC:
     """
 
     def __init__(self, name: str, filter_per_input: bool = True,
-                 store: Optional[AdmissionStore] = None):
+                 store: Optional[AdmissionStore] = None,
+                 fast_path: Optional[bool] = None):
         self.name = name
         self.filter_per_input = filter_per_input
+        #: screened admission fast path (CAC_FAST_PATH env default).
+        self.fast_path = (_fast_path_default() if fast_path is None
+                          else bool(fast_path))
         #: all CAC state -- ports, caches, committed/pending legs.
         self._store = store if store is not None else InMemoryAdmissionStore()
         self._store.attach(filter_per_input, self._count_cache)
@@ -515,8 +555,9 @@ class SwitchCAC:
         # per-input aggregate at the link rate, which would otherwise
         # silently mask a physically impossible load (total sustained
         # rate beyond what the incoming link can ever deliver) as a
-        # zero-delay stream.
-        if self.in_link_utilization(in_link) + stream.long_run_rate > 1:
+        # zero-delay stream.  The rate comes from the store's in-link
+        # ledger -- the same sums on the exact and screened paths.
+        if self._store.in_link_rate(in_link) + stream.long_run_rate > 1:
             violations.append(PriorityBoundViolation(
                 priority, math.inf, port.advertised_bound,
             ))
@@ -527,6 +568,14 @@ class SwitchCAC:
                 computed_bounds=computed,
                 violations=tuple(violations),
             )
+
+        if self.fast_path:
+            screened = self._screen(priority, stream, port)
+            if screened is not None:
+                self._note_screen("accept" if screened.admitted
+                                  else "reject")
+                return screened
+            self._note_screen("exact")
 
         # Step 2-4: the new connection's own priority.
         new_sia = port.sia(in_link) + stream
@@ -558,6 +607,102 @@ class SwitchCAC:
             computed_bounds=computed,
             violations=tuple(violations),
         )
+
+    def _note_screen(self, outcome: str) -> None:
+        """Count one headroom-screen outcome (accept/reject/exact)."""
+        obs = self._rebind()
+        if obs.enabled:
+            obs.screen[outcome].inc()
+
+    def _screen(self, priority: int, stream: BitStream,
+                port: PortState) -> Optional[CheckResult]:
+        """Decide the check from the headroom ledger alone, if possible.
+
+        Two one-sided tests over the per-port ``(sigma, rho)`` envelope
+        sums (see ``docs/performance.md`` for the derivation and why
+        each is conservative):
+
+        * **necessary reject** -- if the ledger says the candidate's own
+          priority would exceed the aggregate-rate ceiling by more than
+          the guard, the exact path is guaranteed to compute an infinite
+          bound for that priority, which is also the first violation it
+          would report;
+        * **sufficient accept** -- if the closed-form latency-rate bound
+          (burst sums over leftover rate) clears the advertised bound of
+          the candidate's port *and* of every non-idle lower port with
+          margin, the exact bounds -- which the conservative ones
+          dominate -- must pass too.
+
+        Returns ``None`` when neither side is provable (the exact
+        fallthrough).  Assumes the in-link feasibility check has
+        already passed, which bounds every per-input rate sum by the
+        link rate -- the fact that makes the rate ceiling exact.
+        """
+        rho = stream.long_run_rate
+        sigma = stream.burst
+        rate_same = port.ledger_rate + rho
+        rate_higher = port.ledger_higher_rate
+
+        # Necessary reject: the candidate's priority is unstable.  The
+        # interference long-run rate is min(1, sum of higher rates)
+        # after the output filter, hence the cap.
+        capped_higher = rate_higher if rate_higher < 1 else 1
+        if rate_same > _SCREEN_GUARD and \
+                rate_same + capped_higher > 1 + _SCREEN_GUARD:
+            return CheckResult(
+                switch=self.name,
+                out_link=port.out_link,
+                computed_bounds={priority: math.inf},
+                violations=(PriorityBoundViolation(
+                    priority, math.inf, port.advertised_bound),),
+            )
+
+        # Sufficient accept, candidate port first.
+        computed: Dict[int, Number] = {}
+        bound = self._screen_port_bound(
+            rate_same, port.ledger_burst + sigma,
+            rate_higher, port.ledger_higher_burst,
+            port.advertised_bound)
+        if bound is None:
+            return None
+        computed[priority] = bound
+
+        # ... then every lower port the exact path would re-check.
+        for lower in self._store.ports_below(port.out_link, priority):
+            if lower.is_idle():
+                continue  # exact path skips it too (Soa is zero)
+            bound = self._screen_port_bound(
+                lower.ledger_rate, lower.ledger_burst,
+                lower.ledger_higher_rate + rho,
+                lower.ledger_higher_burst + sigma,
+                lower.advertised_bound)
+            if bound is None:
+                return None
+            computed[lower.priority] = bound
+
+        return CheckResult(
+            switch=self.name,
+            out_link=port.out_link,
+            computed_bounds=computed,
+            violations=(),
+        )
+
+    @staticmethod
+    def _screen_port_bound(rate: Number, burst: Number,
+                           higher_rate: Number, higher_burst: Number,
+                           advertised: Number) -> Optional[Number]:
+        """One port's sufficient-accept test, or ``None`` if inconclusive.
+
+        Requires a stability margin (so the latency-rate bound applies)
+        and the conservative bound to clear the advertised bound by the
+        guard; returns the conservative bound on success.
+        """
+        if rate + higher_rate > 1 - _SCREEN_GUARD:
+            return None
+        bound = latency_rate_bound(burst, higher_burst, higher_rate)
+        if bound > advertised - _SCREEN_GUARD * (1 + advertised):
+            return None
+        return bound
 
     def check_batch(self, candidates: Sequence[Leg]) -> BatchCheckResult:
         """One shared admission check for a whole group of candidates.
@@ -609,7 +754,7 @@ class SwitchCAC:
         # + candidate rate fits every incoming link, every subset fits.
         infeasible_links = {
             in_link for in_link, rate in in_link_rates.items()
-            if self.in_link_utilization(in_link) + rate > 1
+            if self._store.in_link_rate(in_link) + rate > 1
         }
         if infeasible_links:
             for (out_link, priority), per_input in sorted(grouped.items()):
@@ -624,6 +769,14 @@ class SwitchCAC:
             return self._batch_result(candidates, computed, violations)
 
         affected_links = sorted({out_link for out_link, _p in grouped})
+
+        if self.fast_path:
+            screened = self._screen_batch(affected_links, grouped)
+            if screened is not None:
+                self._note_screen("accept")
+                return self._batch_result(candidates, screened, violations)
+            self._note_screen("exact")
+
         for out_link in affected_links:
             # Candidate streams per priority on this link, for the
             # "higher-priority interference" side of the lower checks.
@@ -688,6 +841,50 @@ class SwitchCAC:
             violations=frozen,
             results=results,
         )
+
+    def _screen_batch(self, affected_links: Sequence[str],
+                      grouped: Mapping[Tuple[str, int],
+                                       Mapping[str, BitStream]],
+                      ) -> Optional[Dict[Tuple[str, int], Number]]:
+        """Sufficient-accept screen for a whole candidate group.
+
+        Mirrors the exact group loop -- ports walked highest priority
+        first, each priority's candidate envelopes joining the
+        interference of everything below it -- but over the headroom
+        ledger's scalar sums.  Returns the conservative per-port bounds
+        when *every* affected port passes with margin, ``None`` (exact
+        fallthrough) otherwise.  There is no batch reject screen: a
+        failing group says nothing per candidate, so the exact loop is
+        the only authority on rejections.
+        """
+        computed: Dict[Tuple[str, int], Number] = {}
+        for out_link in affected_links:
+            extra_rate: Number = 0
+            extra_burst: Number = 0
+            for port in self._store.ports_for(out_link):
+                candidates_here = grouped.get((out_link, port.priority))
+                if not candidates_here:
+                    if (extra_rate == 0 and extra_burst == 0) \
+                            or port.is_idle():
+                        continue  # unaffected, or no traffic to disturb
+                cand_rate: Number = 0
+                cand_burst: Number = 0
+                if candidates_here:
+                    for stream in candidates_here.values():
+                        cand_rate += stream.long_run_rate
+                        cand_burst += stream.burst
+                bound = self._screen_port_bound(
+                    port.ledger_rate + cand_rate,
+                    port.ledger_burst + cand_burst,
+                    port.ledger_higher_rate + extra_rate,
+                    port.ledger_higher_burst + extra_burst,
+                    port.advertised_bound)
+                if bound is None:
+                    return None
+                computed[(out_link, port.priority)] = bound
+                extra_rate += cand_rate
+                extra_burst += cand_burst
+        return computed
 
     def admit(self, connection_id: str, in_link: str, out_link: str,
               priority: int, stream: BitStream) -> CheckResult:
@@ -997,11 +1194,14 @@ class SwitchCAC:
         return backlog_bound_with_higher(soa, service=port.service())
 
     def in_link_utilization(self, in_link: str) -> Number:
-        """Long-run admitted rate entering via one incoming link."""
-        total: Number = 0
-        for port in self._store.ports():
-            total += port.in_link_rate(in_link)
-        return total
+        """Long-run admitted rate entering via one incoming link.
+
+        Served from the store's in-link ledger -- a scalar running sum
+        patched by the same deltas as the aggregates, and the value the
+        admission check's feasibility test reads on both the exact and
+        the screened path.
+        """
+        return self._store.in_link_rate(in_link)
 
     def utilization(self, out_link: str) -> Number:
         """Long-run admitted rate on an output link (1.0 == saturated)."""
@@ -1041,6 +1241,13 @@ class SwitchCAC:
         for (in_link, out_link, priority) in fresh:
             if (out_link, priority) not in covered:
                 return False  # a leg on a port the store no longer has
+        in_rates: Dict[str, Number] = {}
+        for (in_link, _out, _p), stream in fresh.items():
+            in_rates[in_link] = in_rates.get(in_link, 0) \
+                + stream.long_run_rate
+        for in_link, expected in in_rates.items():
+            if abs(self._store.in_link_rate(in_link) - expected) > tolerance:
+                return False
         return all(port.verify_against(fresh, tolerance)
                    for port in self._store.ports())
 

@@ -234,7 +234,8 @@ def run_schedule(seed: int,
                  hop_timeout: float = 8.0,
                  max_faults: int = 4,
                  batched: bool = False,
-                 link_failures: int = 0) -> ScheduleReport:
+                 link_failures: int = 0,
+                 fast_path: Optional[bool] = None) -> ScheduleReport:
     """Run one seeded fault schedule and check the acceptance properties.
 
     ``network_factory`` must build a fresh, identical topology on every
@@ -259,6 +260,11 @@ def run_schedule(seed: int,
     :func:`~repro.robustness.migration.no_double_booking` invariant on
     top of the usual two.  In batched mode the events fire after the
     whole batch (the batch is one atomic pipeline).
+
+    ``fast_path`` is forwarded to both the faulted and the clean-replay
+    :class:`NetworkCAC` (None defers to ``CAC_FAST_PATH``); the
+    screened and exact admission paths produce the same report, which
+    the property suite asserts by running schedules both ways.
     """
     rng = random.Random(seed)
     network = network_factory()
@@ -279,6 +285,7 @@ def run_schedule(seed: int,
     faulted = NetworkCAC(
         network, fault_injector=injector, retry_policy=policy,
         hop_timeout=hop_timeout, rng=random.Random(seed + 1),
+        fast_path=fast_path,
     )
     trace = SignalingTrace()
     errors: Dict[str, str] = {}
@@ -330,7 +337,7 @@ def run_schedule(seed: int,
     # migrated connection's detour route), under its plain name; the
     # alias map folds the faulted side's versioned leg ids back onto
     # the plain names for the comparison.
-    clean = NetworkCAC(network_factory())
+    clean = NetworkCAC(network_factory(), fast_path=fast_path)
     for request in requests:
         survivor = faulted.established.get(request.name)
         if survivor is not None:
@@ -375,6 +382,7 @@ def run_schedules(seeds: Iterable[int],
                   max_faults: int = 4,
                   batched: bool = False,
                   link_failures: int = 0,
+                  fast_path: Optional[bool] = None,
                   jobs: int = 1,
                   executor: Optional[ParallelExecutor] = None,
                   ) -> List[ScheduleReport]:
@@ -402,5 +410,6 @@ def run_schedules(seeds: Iterable[int],
         max_faults=max_faults,
         batched=batched,
         link_failures=link_failures,
+        fast_path=fast_path,
     )
     return parallel_map(task, list(seeds), jobs=jobs, executor=executor)

@@ -603,6 +603,10 @@ class ChurnScenario:
     #: Phase-1 reservation hold time before switch-side expiry; only
     #: meaningful with the admission plane active.
     reservation_ttl: Optional[float] = None
+    #: Admission fast path: True/False forces the screened/exact path,
+    #: None defers to ``CAC_FAST_PATH``.  Decisions (and ledger digests)
+    #: are identical either way; only the wall clock moves.
+    fast_path: Optional[bool] = None
 
     def arrival_rate(self) -> float:
         """The Poisson intensity hitting the offered-load target."""
@@ -648,7 +652,8 @@ def run_scenario(scenario: ChurnScenario) -> ChurnReport:
     injector = FaultInjector(FaultPlan([])) if scenario.failures else None
     cac = NetworkCAC(network, fault_injector=injector,
                      rng=random.Random(scenario.seed),
-                     hop_latency=scenario.setup_latency)
+                     hop_latency=scenario.setup_latency,
+                     fast_path=scenario.fast_path)
     engine = ChurnEngine(
         cac,
         [scenario.traffic_class()],

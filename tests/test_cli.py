@@ -256,3 +256,37 @@ class TestObsCommand:
         from repro import obs
         run(capsys, "obs")
         assert not obs.enabled()
+
+
+class TestProfileCommand:
+    ARGS = ("profile", "--events", "60", "--nodes", "4", "--top", "8")
+
+    def test_table_output(self, capsys):
+        out = run(capsys, *self.ARGS)
+        assert "Profile: 60 churn events" in out
+        assert "events/s" in out
+        assert "cumtime_s" in out
+
+    def test_json_output(self, capsys):
+        import json
+        doc = json.loads(run(capsys, *self.ARGS, "--json"))
+        assert doc["events"] == 60
+        assert doc["fast_path"] == "auto"
+        assert doc["events_per_sec"] > 0
+        assert 0 < len(doc["top"]) <= 8
+        assert {"function", "file", "line", "ncalls", "tottime_s",
+                "cumtime_s"} <= set(doc["top"][0])
+
+    def test_fast_path_off_still_profiles(self, capsys):
+        import json
+        doc = json.loads(run(capsys, *self.ARGS, "--fast-path", "off",
+                             "--json"))
+        assert doc["fast_path"] == "off"
+
+    def test_exact_bound_is_off_the_top_of_the_profile(self, capsys):
+        """The headline claim: Algorithm 4.1 no longer dominates."""
+        import json
+        doc = json.loads(run(
+            capsys, "profile", "--events", "200", "--json"))
+        leaders = [entry["function"] for entry in doc["top"][:8]]
+        assert "delay_bound" not in leaders

@@ -1,0 +1,172 @@
+"""The timer wheel is invisible except to the clock.
+
+``Engine`` routes near-future events through a slot wheel and keeps a
+single overflow heap for the far future; ``timer_wheel=False`` is the
+reference single-heap implementation.  Both must pop events in the
+exact same ``(time, sequence)`` order -- these tests drive randomized
+schedule / cancel / bulk-schedule / nested-schedule scripts through
+both modes (with tiny wheels, so rotations happen constantly) and
+demand bit-identical firing logs.
+"""
+
+import random
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Engine
+
+#: Small wheels force frequent rotations; the 1-slot wheel is the
+#: degenerate case where almost everything lives in the overflow tier.
+WHEEL_SHAPES = [(16, 0.5), (4, 3.0), (1, 1.0), (128, 0.25)]
+
+
+def _script(seed):
+    """A deterministic op script: phases of scheduling, cancels, runs.
+
+    Times deliberately exceed any small wheel's horizon so entries land
+    in the overflow tier and migrate through rotations; equal times and
+    zero-delay nests exercise the sequence-number tiebreak.
+    """
+    rng = random.Random(seed)
+    ops = []
+    clock = 0.0
+    scheduled = 0
+    for _phase in range(rng.randint(3, 6)):
+        for _ in range(rng.randint(4, 20)):
+            roll = rng.random()
+            if roll < 0.50:
+                time = clock + rng.choice(
+                    [0.0, rng.uniform(0, 5), rng.uniform(0, 60),
+                     rng.uniform(0, 200)])
+                nested = tuple(
+                    (rng.choice([0.0, rng.uniform(0, 25)]), f"n{scheduled}.{k}")
+                    for k in range(rng.randint(0, 2)))
+                ops.append(("schedule", time, f"e{scheduled}", nested))
+                scheduled += 1
+            elif roll < 0.65 and scheduled:
+                ops.append(("cancel", rng.randrange(scheduled)))
+            else:
+                base = clock + rng.uniform(0, 150)
+                times = sorted(base + rng.uniform(0, 40) for _ in range(
+                    rng.randint(1, 6)))
+                if rng.random() < 0.5:
+                    times += times[:1]  # a duplicate instant
+                ops.append(("many", tuple(times), f"m{scheduled}"))
+                scheduled += len(times)
+        clock += rng.uniform(0.5, 45)
+        ops.append(("run", clock))
+    ops.append(("run", None))
+    return ops
+
+
+def _drive(engine, script):
+    """Apply one script; return the (time, tag, peek-after-run) log."""
+    log = []
+    handles = []
+
+    def callback(tag, nested):
+        def fire():
+            log.append((engine.now, tag))
+            for delay, sub_tag in nested:
+                engine.schedule_in(delay, callback(sub_tag, ()))
+        return fire
+
+    for op in script:
+        if op[0] == "schedule":
+            _, time, tag, nested = op
+            handles.append(engine.schedule(time, callback(tag, nested)))
+        elif op[0] == "cancel":
+            handles[op[1]].cancel()
+        elif op[0] == "many":
+            _, times, prefix = op
+            handles.extend(engine.schedule_many(
+                [(time, callback(f"{prefix}.{k}", ()))
+                 for k, time in enumerate(times)]))
+        else:
+            _, until = op
+            if until is None:
+                engine.run()
+            else:
+                engine.run(until=until)
+            log.append(("peek", engine.peek_next_time(), engine.now))
+    return log
+
+
+@pytest.mark.parametrize("slots,width", WHEEL_SHAPES)
+@pytest.mark.parametrize("seed", range(8))
+def test_wheel_matches_pure_heap(seed, slots, width):
+    script = _script(seed)
+    wheel = Engine(timer_wheel=True, wheel_slots=slots, wheel_width=width)
+    heap = Engine(timer_wheel=False)
+    assert _drive(wheel, script) == _drive(heap, script)
+    assert wheel.pending_events == heap.pending_events == 0
+    assert wheel.events_processed == heap.events_processed
+
+
+def test_equal_times_fire_in_schedule_order_across_rotation():
+    """The sequence tiebreak survives migration out of the overflow."""
+    engine = Engine(timer_wheel=True, wheel_slots=4, wheel_width=1.0)
+    fired = []
+    # All far beyond the initial horizon, several at the same instant.
+    for tag in range(6):
+        engine.schedule(500.0, lambda tag=tag: fired.append(tag))
+    engine.schedule(499.0, lambda: fired.append("early"))
+    engine.run()
+    assert fired == ["early", 0, 1, 2, 3, 4, 5]
+
+
+def test_callbacks_can_schedule_into_the_current_slot():
+    """A zero-delay reschedule fires this run, after queued peers."""
+    engine = Engine(timer_wheel=True, wheel_slots=8, wheel_width=1.0)
+    order = []
+    engine.schedule(3.0, lambda: (order.append("a"),
+                                  engine.schedule_in(0.0,
+                                                     lambda: order.append("c"))))
+    engine.schedule(3.0, lambda: order.append("b"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+@pytest.mark.parametrize("slots,width", [(16, 0.5), (1, 1.0)])
+def test_cancel_churn_stays_bounded_and_equivalent(slots, width):
+    """Re-armed-timer churn compacts identically in both modes."""
+    wheel = Engine(timer_wheel=True, wheel_slots=slots, wheel_width=width)
+    heap = Engine(timer_wheel=False)
+    logs = []
+    for engine in (wheel, heap):
+        fired = []
+        pending = []
+        rng = random.Random(7)
+        for round_index in range(40):
+            for handle in pending:
+                handle.cancel()
+            pending = [
+                engine.schedule(engine.now + rng.uniform(0.1, 90),
+                                lambda i=(round_index, k): fired.append(i))
+                for k in range(20)
+            ]
+            assert engine.heap_size <= 250
+            engine.run(until=engine.now + rng.uniform(0.1, 4))
+        engine.run()
+        logs.append(fired)
+    assert logs[0] == logs[1]
+
+
+def test_env_variable_controls_default(monkeypatch):
+    monkeypatch.setenv("REPRO_TIMER_WHEEL", "off")
+    assert not Engine()._wheel_enabled
+    assert Engine(timer_wheel=True)._wheel_enabled  # ctor wins
+    monkeypatch.setenv("REPRO_TIMER_WHEEL", "on")
+    assert Engine()._wheel_enabled
+    monkeypatch.delenv("REPRO_TIMER_WHEEL")
+    assert Engine()._wheel_enabled  # on by default
+
+
+def test_invalid_wheel_parameters_are_rejected():
+    for kwargs in ({"wheel_slots": 0}, {"wheel_slots": -3},
+                   {"wheel_width": 0.0}, {"wheel_width": -1.0},
+                   {"wheel_width": float("inf")},
+                   {"wheel_width": float("nan")}):
+        with pytest.raises(SimulationError):
+            Engine(timer_wheel=True, **kwargs)
